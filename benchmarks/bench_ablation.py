@@ -1,0 +1,8 @@
+"""Ablation bench: contribution of each GSPC design ingredient."""
+
+from conftest import run_experiment_bench
+
+
+def test_ablation(benchmark):
+    tables = run_experiment_bench(benchmark, "ablation")
+    assert len(tables) == 5

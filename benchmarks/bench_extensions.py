@@ -1,0 +1,8 @@
+"""Extensions bench: texture bypass and multi-frame sequences."""
+
+from conftest import run_experiment_bench
+
+
+def test_extensions(benchmark):
+    tables = run_experiment_bench(benchmark, "extensions")
+    assert len(tables) == 2

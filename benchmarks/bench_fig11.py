@@ -1,0 +1,8 @@
+"""Regenerates fig11 of the paper at reduced scale (see conftest)."""
+
+from conftest import run_experiment_bench
+
+
+def test_fig11(benchmark):
+    tables = run_experiment_bench(benchmark, "fig11")
+    assert tables and tables[0].rows

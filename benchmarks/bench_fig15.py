@@ -1,0 +1,8 @@
+"""Regenerates fig15 of the paper at reduced scale (see conftest)."""
+
+from conftest import run_experiment_bench
+
+
+def test_fig15(benchmark):
+    tables = run_experiment_bench(benchmark, "fig15")
+    assert tables and tables[0].rows

@@ -1,0 +1,8 @@
+"""Regenerates fig16 of the paper at reduced scale (see conftest)."""
+
+from conftest import run_experiment_bench
+
+
+def test_fig16(benchmark):
+    tables = run_experiment_bench(benchmark, "fig16")
+    assert tables and tables[0].rows

@@ -1,0 +1,8 @@
+"""Regenerates fig17 of the paper at reduced scale (see conftest)."""
+
+from conftest import run_experiment_bench
+
+
+def test_fig17(benchmark):
+    tables = run_experiment_bench(benchmark, "fig17")
+    assert tables and tables[0].rows

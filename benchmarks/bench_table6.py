@@ -1,0 +1,8 @@
+"""Regenerates table6 of the paper at reduced scale (see conftest)."""
+
+from conftest import run_experiment_bench
+
+
+def test_table6(benchmark):
+    tables = run_experiment_bench(benchmark, "table6")
+    assert tables and tables[0].rows

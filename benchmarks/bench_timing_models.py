@@ -1,0 +1,8 @@
+"""Timing-model cross-validation bench."""
+
+from conftest import run_experiment_bench
+
+
+def test_timing_models(benchmark):
+    tables = run_experiment_bench(benchmark, "timing")
+    assert tables[0].rows

@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures at
+reduced scale through pytest-benchmark and prints the resulting rows
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them).
+Figure-level benches execute once per session (``pedantic`` with a
+single round): they are end-to-end experiment timings, not hot-loop
+micro-benchmarks — those live in ``bench_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, get_experiment
+
+#: Reduced-scale configuration used by every figure bench.
+BENCH_CONFIG = ExperimentConfig(
+    scale=0.0625, frames_per_app=1, cache_dir=".repro_cache"
+)
+
+
+def run_experiment_bench(benchmark, experiment_id: str, config=BENCH_CONFIG):
+    """Benchmark one experiment end-to-end and print its tables."""
+    experiment = get_experiment(experiment_id)
+
+    def once():
+        return experiment.run(config)
+
+    tables = benchmark.pedantic(once, rounds=1, iterations=1)
+    for table in tables:
+        print()
+        print(table.render())
+    return tables
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG

@@ -1,0 +1,106 @@
+"""repro — graphics stream-aware probabilistic caching (GSPC) for GPU LLCs.
+
+A full reproduction of Gaur, Srinivasan, Subramoney and Chaudhuri,
+"Efficient Management of Last-level Caches in Graphics Processors for
+3D Scene Rendering Workloads" (MICRO 2013), built on pure-Python
+substrates: a synthetic DirectX-style frame renderer, a render-cache
+front end, an offline LLC simulator hosting thirteen replacement
+policies, and a GPU frame-timing model.
+
+Quick start::
+
+    from repro import simulate_trace, generate_frame_trace, app_by_name
+    from repro.config import paper_baseline
+
+    system = paper_baseline(llc_mb=8, scale=0.125)
+    trace = generate_frame_trace(app_by_name("AssnCreed"), frame_index=0,
+                                 scale=0.125)
+    gspc = simulate_trace(trace, "gspc+ucd", system.llc)
+    drrip = simulate_trace(trace, "drrip", system.llc)
+    print(gspc.misses / drrip.misses)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import (
+    DDR3_1600,
+    DDR3_1867,
+    GPU_BASELINE,
+    GPU_SMALL,
+    CacheParams,
+    DRAMConfig,
+    GPUConfig,
+    LLCConfig,
+    RenderCachesConfig,
+    SystemConfig,
+    paper_baseline,
+)
+from repro.core import available_policies, make_policy, policy_spec
+from repro.errors import (
+    ConfigError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+from repro.gpu.timing import FrameTiming, FrameTimingSimulator, simulate_frame_timing
+from repro.sim import SimResult, simulate_trace
+from repro.streams import Stream, StreamClass
+from repro.trace import Access, Trace, TraceBuilder, load_trace, save_trace
+from repro.workloads import (
+    ALL_APPS,
+    AppProfile,
+    all_frames,
+    app_by_name,
+    generate_frame_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "CacheParams",
+    "LLCConfig",
+    "RenderCachesConfig",
+    "DRAMConfig",
+    "GPUConfig",
+    "SystemConfig",
+    "paper_baseline",
+    "DDR3_1600",
+    "DDR3_1867",
+    "GPU_BASELINE",
+    "GPU_SMALL",
+    # streams & traces
+    "Stream",
+    "StreamClass",
+    "Access",
+    "Trace",
+    "TraceBuilder",
+    "load_trace",
+    "save_trace",
+    # policies
+    "available_policies",
+    "make_policy",
+    "policy_spec",
+    # simulation
+    "SimResult",
+    "simulate_trace",
+    "FrameTiming",
+    "FrameTimingSimulator",
+    "simulate_frame_timing",
+    # workloads
+    "ALL_APPS",
+    "AppProfile",
+    "all_frames",
+    "app_by_name",
+    "generate_frame_trace",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "PolicyError",
+    "SimulationError",
+    "WorkloadError",
+]

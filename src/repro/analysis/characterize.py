@@ -1,0 +1,85 @@
+"""Frame characterization: the measurements behind Section 2.
+
+``characterize_frame`` runs one frame under one policy with an epoch
+observer attached and returns everything Figures 4-9 need: the stream
+access mix, per-stream hit rates, inter- vs intra-stream texture hits,
+render-target consumption, and the epoch populations of the texture and
+Z streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.cache.stats import LLCStats
+from repro.config import LLCConfig
+from repro.sim.epochs import EpochStats, EpochTracker, MultiEpochTracker
+from repro.sim.offline import PolicyLike, simulate_trace
+from repro.sim.results import SimResult
+from repro.streams import Stream, StreamClass
+from repro.trace.record import Trace
+from repro.trace.stats import TraceStats, compute_trace_stats
+
+
+@dataclasses.dataclass
+class FrameCharacterization:
+    """All Section-2 measurements for one (frame, policy) pair."""
+
+    policy: str
+    trace_stats: TraceStats
+    llc_stats: LLCStats
+    tex_epochs: EpochStats
+    z_epochs: EpochStats
+    result: SimResult
+
+    # -- conveniences used by the figure modules -------------------------
+
+    @property
+    def tex_hit_rate(self) -> float:
+        return self.llc_stats.tex_hit_rate
+
+    @property
+    def rt_hit_rate(self) -> float:
+        return self.llc_stats.rt_hit_rate
+
+    @property
+    def z_hit_rate(self) -> float:
+        return self.llc_stats.z_hit_rate
+
+    @property
+    def rt_consumption_rate(self) -> float:
+        return self.llc_stats.rt_consumption_rate
+
+    @property
+    def tex_inter_hits(self) -> int:
+        return self.llc_stats.tex_inter_hits
+
+    @property
+    def tex_intra_hits(self) -> int:
+        return self.llc_stats.tex_intra_hits
+
+    def stream_mix(self) -> Dict[Stream, float]:
+        return self.trace_stats.mix()
+
+
+def characterize_frame(
+    trace: Trace,
+    policy: PolicyLike = "belady",
+    llc_config: Optional[LLCConfig] = None,
+) -> FrameCharacterization:
+    """Measure one frame under one policy with epoch tracking enabled."""
+    llc_config = llc_config or LLCConfig()
+    slots = llc_config.num_sets * llc_config.ways
+    tex_tracker = EpochTracker(StreamClass.TEX, slots)
+    z_tracker = EpochTracker(StreamClass.Z, slots)
+    observer = MultiEpochTracker([tex_tracker, z_tracker])
+    result = simulate_trace(trace, policy, llc_config, observer=observer)
+    return FrameCharacterization(
+        policy=result.policy,
+        trace_stats=compute_trace_stats(trace),
+        llc_stats=result.stats,
+        tex_epochs=tex_tracker.finalize(),
+        z_epochs=z_tracker.finalize(),
+        result=result,
+    )

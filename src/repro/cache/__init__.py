@@ -1,0 +1,8 @@
+"""Cache substrates: geometry, render caches, and the shared LLC engine."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.setassoc import LRUCache
+from repro.cache.llc import LLC
+from repro.cache.stats import LLCStats, StreamStats
+
+__all__ = ["CacheGeometry", "LRUCache", "LLC", "LLCStats", "StreamStats"]

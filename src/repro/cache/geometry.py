@@ -1,0 +1,99 @@
+"""Cache geometry: address decomposition, banking, and sample-set choice.
+
+The paper dedicates sixteen sample sets in every 1024 LLC sets (one in
+64), "identified by simple Boolean functions on the LLC index bits".  We
+use the standard constituency construction: a set is a sample when its low
+index bits equal its next-higher index bits, which spreads samples evenly
+over the index space (and therefore over the banks, which are interleaved
+on the low index bits).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import LLCConfig
+from repro.errors import ConfigError
+from repro.utils.bitops import ilog2
+
+
+class CacheGeometry:
+    """Immutable geometry shared by the LLC engine and its policies."""
+
+    __slots__ = (
+        "num_sets",
+        "ways",
+        "block_bytes",
+        "banks",
+        "sample_period",
+        "set_bits",
+        "block_bits",
+        "bank_of_set",
+        "is_sample_set",
+        "sample_sets",
+    )
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        block_bytes: int = 64,
+        banks: int = 1,
+        sample_period: int = 64,
+    ) -> None:
+        if ways <= 0:
+            raise ConfigError(f"ways must be positive, got {ways}")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.block_bytes = block_bytes
+        self.banks = banks
+        self.set_bits = ilog2(num_sets)
+        self.block_bits = ilog2(block_bytes)
+        ilog2(banks)
+        if banks > num_sets:
+            raise ConfigError(f"{banks} banks exceed {num_sets} sets")
+        # Clamp the sampling period so every cache, however small, keeps a
+        # majority of follower sets.
+        period = min(sample_period, max(2, num_sets // 2))
+        period_bits = max(1, period.bit_length() - 1)
+        period = 1 << period_bits
+        self.sample_period = period
+        mask = period - 1
+        self.bank_of_set: List[int] = [s & (banks - 1) for s in range(num_sets)]
+        self.is_sample_set: List[bool] = [
+            (s & mask) == ((s >> period_bits) & mask) for s in range(num_sets)
+        ]
+        self.sample_sets = tuple(
+            s for s in range(num_sets) if self.is_sample_set[s]
+        )
+
+    @classmethod
+    def from_config(cls, config: LLCConfig) -> "CacheGeometry":
+        return cls(
+            num_sets=config.num_sets,
+            ways=config.ways,
+            block_bytes=config.block_bytes,
+            banks=config.banks,
+            sample_period=config.sample_period,
+        )
+
+    def set_index(self, block_address: int) -> int:
+        """Set index of a block address (already shifted by block bits)."""
+        return block_address & (self.num_sets - 1)
+
+    def tag(self, block_address: int) -> int:
+        return block_address >> self.set_bits
+
+    def block_address(self, byte_address: int) -> int:
+        return byte_address >> self.block_bits
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.ways * self.block_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheGeometry(sets={self.num_sets}, ways={self.ways}, "
+            f"block={self.block_bytes}B, banks={self.banks}, "
+            f"sample_period={self.sample_period})"
+        )

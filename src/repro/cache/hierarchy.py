@@ -1,0 +1,109 @@
+"""The render-cache front end between the pipeline and the LLC.
+
+The GPU's fixed-function units never talk to the LLC directly: vertex
+fetches go through the vertex cache, depth tests through the HiZ and Z
+caches, blending through the render-target cache, stencil tests through
+the stencil cache, and sampler reads through a three-level texture
+hierarchy (Section 4).  Misses at the innermost levels — plus dirty
+write-backs — form the LLC access trace.  Displayable color writes and
+miscellaneous (shader code/constant) reads are uncached internally and
+reach the LLC directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.setassoc import LRUCache
+from repro.config import RenderCachesConfig
+from repro.streams import Stream
+from repro.trace.record import TraceBuilder
+
+
+class RenderCacheFrontEnd:
+    """Routes raw pipeline accesses through the render caches.
+
+    Every miss that escapes the innermost cache of a stream is appended
+    to ``sink`` as an LLC load; every dirty line evicted from a render
+    cache is appended as an LLC store (write-back).
+    """
+
+    def __init__(
+        self, config: Optional[RenderCachesConfig] = None, sink: Optional[TraceBuilder] = None
+    ) -> None:
+        config = config or RenderCachesConfig()
+        self.sink = sink if sink is not None else TraceBuilder()
+        self.caches: Dict[Stream, LRUCache] = {
+            Stream.VERTEX: LRUCache(config.vertex, "vertex"),
+            Stream.HIZ: LRUCache(config.hiz, "hiz"),
+            Stream.Z: LRUCache(config.z, "z"),
+            Stream.STENCIL: LRUCache(config.stencil, "stencil"),
+            Stream.RT: LRUCache(config.render_target, "rt"),
+        }
+        self.texture_levels = (
+            LRUCache(config.texture_l1, "tex-l1"),
+            LRUCache(config.texture_l2, "tex-l2"),
+            LRUCache(config.texture_l3, "tex-l3"),
+        )
+        self.raw_accesses = 0
+
+    # -- scalar path --------------------------------------------------------
+
+    def access(self, address: int, stream: Stream, is_write: bool = False) -> None:
+        self.raw_accesses += 1
+        if stream is Stream.TEXTURE:
+            self._texture_access(address)
+            return
+        if stream is Stream.DISPLAY or stream is Stream.OTHER:
+            # Uncached internally: straight to the LLC.
+            self.sink.append(address, stream, is_write)
+            return
+        cache = self.caches[stream]
+        hit, writeback = cache.access(address, is_write)
+        if writeback is not None:
+            self.sink.append(writeback, stream, True)
+        if not hit:
+            self.sink.append(address, stream, False)
+
+    def _texture_access(self, address: int) -> None:
+        for level in self.texture_levels:
+            hit, _ = level.access(address, False)
+            if hit:
+                return
+        self.sink.append(address, Stream.TEXTURE, False)
+
+    # -- batch path ----------------------------------------------------------
+
+    def access_blocks(
+        self, addresses: np.ndarray, stream: Stream, is_write: bool = False
+    ) -> None:
+        """Route a batch of block addresses through one stream's caches."""
+        if stream is Stream.DISPLAY or stream is Stream.OTHER:
+            self.raw_accesses += len(addresses)
+            self.sink.extend(addresses, stream, is_write)
+            return
+        if stream is Stream.TEXTURE:
+            access = self._texture_access
+            self.raw_accesses += len(addresses)
+            for address in addresses.tolist():
+                access(address)
+            return
+        cache_access = self.caches[stream].access
+        append = self.sink.append
+        self.raw_accesses += len(addresses)
+        for address in addresses.tolist():
+            hit, writeback = cache_access(address, is_write)
+            if writeback is not None:
+                append(writeback, stream, True)
+            if not hit:
+                append(address, stream, False)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def filtered_fraction(self) -> float:
+        """Fraction of raw accesses absorbed before reaching the LLC."""
+        if self.raw_accesses == 0:
+            return 0.0
+        return 1.0 - len(self.sink) / self.raw_accesses

@@ -1,0 +1,143 @@
+"""gspc-sim — one-shot simulation CLI.
+
+Simulate a trace (a saved ``.npz`` LLC trace, or a synthesized frame of
+one of the twelve applications) under one or more policies and print
+miss counts, per-stream hit rates, and optionally modeled FPS.
+
+Examples::
+
+    gspc-sim --app AssnCreed --policies drrip gspc+ucd belady
+    gspc-sim --trace frame.npz --policies drrip gspc+ucd --llc-mb 16
+    gspc-sim --app HAWX --frame 2 --scale 0.0625 --timing
+    gspc-sim --app DMC --save-trace dmc0.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import Table
+from repro.config import DEFAULT_SCALE, paper_baseline
+from repro.core.registry import available_policies
+from repro.errors import ReproError
+from repro.gpu.timing import FrameTimingSimulator
+from repro.sim.offline import simulate_trace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import Trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gspc-sim", description="Simulate LLC policies on one trace."
+    )
+    source = parser.add_mutually_exclusive_group(required=False)
+    source.add_argument("--trace", help="path to a saved .npz LLC trace")
+    source.add_argument(
+        "--app", help="synthesize a frame of this application (Table 1 name)"
+    )
+    parser.add_argument("--frame", type=int, default=0, help="frame index")
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE, help="linear frame scale"
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=["drrip", "gspc+ucd"],
+        help="policy names (first one is the normalization baseline)",
+    )
+    parser.add_argument("--llc-mb", type=int, default=8, help="LLC size in MB")
+    parser.add_argument(
+        "--timing", action="store_true", help="also run the frame-timing model"
+    )
+    parser.add_argument(
+        "--save-trace", metavar="PATH", help="save the input trace and exit"
+    )
+    parser.add_argument(
+        "--list-policies", action="store_true", help="list known policies"
+    )
+    return parser
+
+
+def _resolve_trace(args: argparse.Namespace) -> Trace:
+    if args.trace:
+        return load_trace(args.trace)
+    from repro.workloads.apps import app_by_name
+    from repro.workloads.framegen import generate_frame_trace
+
+    app_name = args.app or "BioShock"
+    return generate_frame_trace(
+        app_by_name(app_name), args.frame, scale=args.scale
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_policies:
+        for name in available_policies():
+            print(f"{name}  (also {name}+ucd)")
+        return 0
+    try:
+        trace = _resolve_trace(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+        print(f"saved {len(trace):,} accesses to {args.save_trace}")
+        return 0
+
+    system = paper_baseline(llc_mb=args.llc_mb, scale=args.scale)
+    print(
+        f"trace {trace.meta.get('name', '?')}: {len(trace):,} accesses; "
+        f"LLC {system.llc.params.capacity_bytes // 1024} KB "
+        f"{system.llc.ways}-way"
+    )
+    table = Table(
+        "Offline simulation",
+        ["Policy", "Misses", "vs baseline", "Hit rate", "TEX hit", "RT->TEX"],
+    )
+    baseline = None
+    try:
+        for policy in args.policies:
+            result = simulate_trace(trace, policy, system.llc)
+            if baseline is None:
+                baseline = result
+            stats = result.stats
+            table.add_row(
+                result.policy.upper(),
+                result.misses,
+                result.misses_normalized_to(baseline),
+                stats.hit_rate,
+                stats.tex_hit_rate,
+                stats.rt_consumption_rate,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(table.render())
+    if args.timing:
+        simulator = FrameTimingSimulator(system)
+        timing_table = Table(
+            "Frame timing", ["Policy", "Frame ms", "FPS (full scale)", "Speedup"]
+        )
+        base_timing = None
+        for policy in args.policies:
+            timing = simulator.run(trace, policy)
+            if base_timing is None:
+                base_timing = timing
+            timing_table.add_row(
+                timing.policy.upper(),
+                timing.frame_ns / 1e6,
+                timing.fps_full_scale,
+                timing.speedup_over(base_timing),
+            )
+        print()
+        print(timing_table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

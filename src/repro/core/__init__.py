@@ -1,0 +1,12 @@
+"""Replacement policies: the paper's GSPC family and all baselines."""
+
+from repro.core.base import AccessContext, ReplacementPolicy
+from repro.core.registry import available_policies, make_policy, policy_spec
+
+__all__ = [
+    "AccessContext",
+    "ReplacementPolicy",
+    "available_policies",
+    "make_policy",
+    "policy_spec",
+]

@@ -1,0 +1,58 @@
+"""Belady's optimal replacement (OPT / MIN).
+
+The offline upper bound of Figures 1, 5, 6, 7 and 9.  The simulator
+precomputes, for every access, the index of the *next* access to the
+same block (:mod:`repro.sim.future`) and exposes it as
+``ctx.next_use``; the victim is the resident block whose next use lies
+farthest in the future, with "never used again" treated as infinitely
+far and ties broken toward the smallest way id.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.base import NEVER, AccessContext, ReplacementPolicy
+from repro.errors import PolicyError
+
+
+class BeladyPolicy(ReplacementPolicy):
+    name = "belady"
+    needs_future = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.next_use: List[int] = []
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        self.next_use = [NEVER] * (geometry.num_sets * geometry.ways)
+
+    def _check_future(self, ctx: AccessContext) -> None:
+        if ctx.next_use < 0:
+            raise PolicyError(
+                "Belady's OPT requires precomputed next-use indices; run it "
+                "through repro.sim.offline with future information enabled"
+            )
+
+    def select_victim(self, ctx: AccessContext) -> int:
+        ways = self.geometry.ways
+        base = ctx.set_index * ways
+        next_use = self.next_use
+        victim = 0
+        farthest = next_use[base]
+        for way in range(1, ways):
+            distance = next_use[base + way]
+            if distance > farthest:
+                farthest = distance
+                victim = way
+        return victim
+
+    def on_hit(self, ctx: AccessContext, way: int) -> None:
+        self._check_future(ctx)
+        self.next_use[ctx.set_index * self.geometry.ways + way] = ctx.next_use
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        self._check_future(ctx)
+        self.next_use[ctx.set_index * self.geometry.ways + way] = ctx.next_use

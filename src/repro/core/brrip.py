@@ -1,0 +1,33 @@
+"""Bimodal re-reference interval prediction (BRRIP) [Jaleel et al.].
+
+Inserts with the distant RRPV (``2**n - 1``) most of the time and with
+the long RRPV (``2**n - 2``) with low probability (1/32), making the
+policy thrash-resistant.  The bimodal choice is implemented with a
+deterministic 1-in-32 fill counter, like hardware throttles do, so runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.base import AccessContext
+from repro.core.rrip import RRIPPolicy
+
+#: One fill in BIMODAL_PERIOD is inserted with the long RRPV.
+BIMODAL_PERIOD = 32
+
+
+class BRRIPPolicy(RRIPPolicy):
+    name = "brrip"
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        self._fill_tick = 0
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        self._fill_tick += 1
+        if self._fill_tick >= BIMODAL_PERIOD:
+            self._fill_tick = 0
+            self.insert(ctx, way, self.long_rrpv)
+        else:
+            self.insert(ctx, way, self.distant_rrpv)

@@ -1,0 +1,74 @@
+"""DIP — dynamic insertion policy [Qureshi et al., ISCA'07].
+
+The recency-stack ancestor of DRRIP, covered in the paper's related
+work: set-dueling between plain LRU insertion (at MRU) and *bimodal*
+insertion (BIP: insert at LRU, promoting to MRU only one fill in 32),
+with hits always promoting to MRU.  Included as an additional baseline
+so the RRIP-family results can be contrasted with the best
+recency-stack policy.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.base import AccessContext
+from repro.core.brrip import BIMODAL_PERIOD
+from repro.core.dueling import LEADER_A, LEADER_B, PolicySelector, leader_roles
+from repro.core.lru import LRUPolicy
+
+
+class BIPPolicy(LRUPolicy):
+    """Bimodal insertion: fills land at the LRU position except one in
+    32, which lands at MRU; hits promote to MRU."""
+
+    name = "bip"
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        self._fill_tick = 0
+
+    def _insert_at_lru(self, set_index: int, way: int) -> None:
+        base = set_index * self.geometry.ways
+        stamps = self.stamps
+        oldest = min(stamps[base : base + self.geometry.ways])
+        stamps[base + way] = oldest - 1
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        self._fill_tick += 1
+        if self._fill_tick >= BIMODAL_PERIOD:
+            self._fill_tick = 0
+            self._touch(ctx.set_index, way)      # MRU insertion
+        else:
+            self._insert_at_lru(ctx.set_index, way)
+
+
+class DIPPolicy(BIPPolicy):
+    """Set-duel between LRU insertion and bimodal insertion."""
+
+    name = "dip"
+
+    def __init__(self, psel_bits: int = 10, target_leaders: int = 32) -> None:
+        super().__init__()
+        self.psel_bits = psel_bits
+        self.target_leaders = target_leaders
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        self.roles = leader_roles(
+            geometry.num_sets, target_leaders=self.target_leaders
+        )
+        self.psel = PolicySelector(self.psel_bits)
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        role = self.roles[ctx.set_index]
+        self.psel.record_leader_miss(role)
+        if role == LEADER_A:
+            choice = LEADER_A
+        elif role == LEADER_B:
+            choice = LEADER_B
+        else:
+            choice = self.psel.winner
+        if choice == LEADER_A:
+            self._touch(ctx.set_index, way)      # LRU policy: MRU insert
+        else:
+            BIPPolicy.on_fill(self, ctx, way)    # bimodal insert

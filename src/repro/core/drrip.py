@@ -1,0 +1,61 @@
+"""Dynamic re-reference interval prediction (DRRIP) — the paper's baseline.
+
+DRRIP set-duels SRRIP insertion (RRPV ``2**n - 2``) against BRRIP
+insertion (RRPV ``2**n - 1`` except one fill in 32) and lets the
+follower sets copy the winner.  Hits always promote to RRPV 0.  The
+two-bit variant is the baseline of every figure in the paper; the
+four-bit variant appears in the iso-overhead study of Figure 14.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.base import AccessContext
+from repro.core.brrip import BIMODAL_PERIOD
+from repro.core.dueling import LEADER_A, LEADER_B, PolicySelector, leader_roles
+from repro.core.rrip import RRIPPolicy
+
+
+class DRRIPPolicy(RRIPPolicy):
+    name = "drrip"
+
+    def __init__(
+        self,
+        rrpv_bits: int = 2,
+        psel_bits: int = 10,
+        target_leaders: int = 32,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        self.psel_bits = psel_bits
+        self.target_leaders = target_leaders
+        if rrpv_bits != 2:
+            self.name = f"drrip{rrpv_bits}"
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        self.roles = leader_roles(
+            geometry.num_sets, target_leaders=self.target_leaders
+        )
+        self.psel = PolicySelector(self.psel_bits)
+        self._fill_tick = 0
+
+    def _bimodal_rrpv(self) -> int:
+        self._fill_tick += 1
+        if self._fill_tick >= BIMODAL_PERIOD:
+            self._fill_tick = 0
+            return self.long_rrpv
+        return self.distant_rrpv
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        role = self.roles[ctx.set_index]
+        self.psel.record_leader_miss(role)
+        if role == LEADER_A:
+            choice = LEADER_A
+        elif role == LEADER_B:
+            choice = LEADER_B
+        else:
+            choice = self.psel.winner
+        if choice == LEADER_A:
+            self.insert(ctx, way, self.long_rrpv)
+        else:
+            self.insert(ctx, way, self._bimodal_rrpv())

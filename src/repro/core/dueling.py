@@ -1,0 +1,88 @@
+"""Set-dueling support [Qureshi et al., ISCA'07].
+
+A small number of *leader* sets are statically dedicated to each
+competing insertion policy; a saturating policy-selector (PSEL) counter
+counts their misses and the remaining *follower* sets adopt the winner.
+The leader assignment uses the constituency construction: leaders for
+duel ``d`` live at set offsets ``2d`` (policy A) and ``2d + 1`` (policy
+B) within each constituency, so multiple independent duels (one per
+graphics stream class in GS-DRRIP) never share a leader set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.utils.bitops import is_power_of_two
+from repro.utils.counters import SaturatingCounter
+
+#: Leader-set roles.
+FOLLOWER = 0
+LEADER_A = 1   # e.g. SRRIP insertion
+LEADER_B = 2   # e.g. BRRIP insertion
+
+
+def leader_roles(
+    num_sets: int, duel_index: int = 0, num_duels: int = 1, target_leaders: int = 32
+) -> List[int]:
+    """Role of every set for one duel.
+
+    ``target_leaders`` is the desired number of leader sets per policy
+    (32 in the DRRIP paper for a 4096-set cache); it is reduced
+    automatically for small caches so that followers always remain the
+    majority.
+    """
+    if not is_power_of_two(num_sets):
+        raise ConfigError(f"set count must be a power of two, got {num_sets}")
+    if duel_index >= num_duels:
+        raise ConfigError(f"duel index {duel_index} >= duel count {num_duels}")
+    min_period = 1
+    while min_period < 2 * num_duels:
+        min_period *= 2
+    # Keep leader sets a small minority even for scaled-down caches: at
+    # most one leader pair per 16 sets (the DRRIP paper dedicates 32+32
+    # leaders out of 4096 sets, i.e. one pair per 128).
+    period = max(min_period, num_sets // target_leaders, 16)
+    period = min(period, num_sets)
+    if period < 2 * num_duels:
+        raise ConfigError(
+            f"{num_sets} sets cannot host {num_duels} independent duels"
+        )
+    mask = period - 1
+    offset_a = 2 * duel_index
+    offset_b = 2 * duel_index + 1
+    roles = [FOLLOWER] * num_sets
+    for set_index in range(num_sets):
+        offset = set_index & mask
+        if offset == offset_a:
+            roles[set_index] = LEADER_A
+        elif offset == offset_b:
+            roles[set_index] = LEADER_B
+    return roles
+
+
+class PolicySelector:
+    """The PSEL counter of one duel.
+
+    Misses in policy-A leaders increment, misses in policy-B leaders
+    decrement; followers use policy B when A has accumulated strictly
+    more misses (value above the midpoint starting position).
+    """
+
+    __slots__ = ("counter", "midpoint")
+
+    def __init__(self, bits: int = 10) -> None:
+        self.midpoint = 1 << (bits - 1)
+        self.counter = SaturatingCounter(bits, value=self.midpoint)
+
+    def record_leader_miss(self, role: int) -> None:
+        if role == LEADER_A:
+            self.counter.increment()
+        elif role == LEADER_B:
+            self.counter.decrement()
+
+    @property
+    def winner(self) -> int:
+        """LEADER_A or LEADER_B — the policy followers should copy."""
+        return LEADER_B if self.counter.value > self.midpoint else LEADER_A

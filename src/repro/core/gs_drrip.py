@@ -1,0 +1,75 @@
+"""Graphics stream-aware DRRIP (GS-DRRIP).
+
+The paper derives this comparison policy from thread-aware DRRIP
+[Jaleel et al., PACT'08] by treating the four graphics stream classes
+(Z, TEX, RT, OTHER) as the "threads": each class runs its own
+SRRIP-vs-BRRIP duel with its own PSEL and its own leader sets, so each
+stream independently converges on an insertion RRPV of ``2**n - 2`` or
+``2**n - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.base import AccessContext
+from repro.core.brrip import BIMODAL_PERIOD
+from repro.core.dueling import LEADER_A, LEADER_B, PolicySelector, leader_roles
+from repro.core.rrip import RRIPPolicy
+
+NUM_STREAM_CLASSES = 4
+
+
+class GSDRRIPPolicy(RRIPPolicy):
+    name = "gs-drrip"
+
+    def __init__(
+        self,
+        rrpv_bits: int = 2,
+        psel_bits: int = 10,
+        target_leaders: int = 32,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        self.psel_bits = psel_bits
+        self.target_leaders = target_leaders
+        if rrpv_bits != 2:
+            self.name = f"gs-drrip{rrpv_bits}"
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        self.roles: List[List[int]] = [
+            leader_roles(
+                geometry.num_sets,
+                duel_index=sclass,
+                num_duels=NUM_STREAM_CLASSES,
+                target_leaders=self.target_leaders,
+            )
+            for sclass in range(NUM_STREAM_CLASSES)
+        ]
+        self.psels = [PolicySelector(self.psel_bits) for _ in range(NUM_STREAM_CLASSES)]
+        self._fill_ticks = [0] * NUM_STREAM_CLASSES
+
+    def _bimodal_rrpv(self, sclass: int) -> int:
+        self._fill_ticks[sclass] += 1
+        if self._fill_ticks[sclass] >= BIMODAL_PERIOD:
+            self._fill_ticks[sclass] = 0
+            return self.long_rrpv
+        return self.distant_rrpv
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        sclass = ctx.sclass
+        # A set may lead for this stream's duel; fills of *other* streams
+        # in that set follow their own winners (thread-aware dueling).
+        role = self.roles[sclass][ctx.set_index]
+        self.psels[sclass].record_leader_miss(role)
+        if role == LEADER_A:
+            choice = LEADER_A
+        elif role == LEADER_B:
+            choice = LEADER_B
+        else:
+            choice = self.psels[sclass].winner
+        if choice == LEADER_A:
+            self.insert(ctx, way, self.long_rrpv)
+        else:
+            self.insert(ctx, way, self._bimodal_rrpv(sclass))

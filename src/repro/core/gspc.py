@@ -1,0 +1,50 @@
+"""GSPC — graphics stream-aware probabilistic caching (Table 5).
+
+The final proposal: GSPZTC+TSE plus *dynamic* render-target management.
+Two extra per-bank counters estimate the probability that a render
+target produced into the LLC is later consumed by the texture samplers:
+PROD counts render-target fills into sample sets, CONS counts texture
+hits on sample blocks in the RT state.  A non-sample render-target fill
+is protected according to the sampled CONS/PROD ratio:
+
+* ``PROD > 16*CONS``            (probability < 1/16)  -> RRPV 3
+* ``16*CONS >= PROD > 8*CONS``  (1/16 <= p < 1/8)     -> RRPV 2
+* otherwise                     (p >= 1/8)            -> RRPV 0
+
+The thresholds are deliberately small because they are measured in the
+SRRIP-managed samples and amplified in the followers.  Render-target
+hits from blending always promote to RRPV 0.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessContext
+from repro.core.gspztc_tse import GSPZTCTSEPolicy
+
+#: Probability thresholds of Table 5 (1/16 and 1/8).
+LOW_FACTOR = 16
+MID_FACTOR = 8
+
+
+class GSPCPolicy(GSPZTCTSEPolicy):
+    name = "gspc"
+    counter_names = GSPZTCTSEPolicy.counter_names + ("prod", "cons")
+
+    def _on_sample_rt_fill(self, bank: int) -> None:
+        self._inc("prod", bank)
+
+    def _on_sample_rt_consumption(self, bank: int) -> None:
+        self._inc("cons", bank)
+
+    def _rt_fill_rrpv(self, ctx: AccessContext) -> int:
+        prod = self.counters["prod"][ctx.bank]
+        cons = self.counters["cons"][ctx.bank]
+        if prod > LOW_FACTOR * cons:
+            return self.distant_rrpv
+        if prod > MID_FACTOR * cons:
+            return self.long_rrpv
+        return 0
+
+    def rt_consumption_probability(self, bank: int) -> float:
+        """The sampled CONS/PROD estimate (for introspection and tests)."""
+        return self.reuse_probability("prod", "cons", bank)

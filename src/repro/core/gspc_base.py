@@ -1,0 +1,92 @@
+"""Shared machinery for the GSPC policy family (Section 3).
+
+All three proposals (GSPZTC, GSPZTC+TSE, GSPC) share the same substrate:
+
+* the dedicated *sample sets* always execute SRRIP while updating
+  per-bank saturating FILL/HIT (and later PROD/CONS) counters;
+* a 7-bit ACC(ALL) counter per bank counts every sample access and, on
+  saturation, halves the other counters and resets itself;
+* non-sample ("follower") sets amplify the sampled reuse probabilities
+  by choosing insertion RRPVs through threshold tests of the form
+  ``FILL > t * HIT`` with ``t`` a power of two (t = 8 by default,
+  Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.rrip import RRIPPolicy
+from repro.errors import ConfigError
+from repro.utils.bitops import is_power_of_two
+
+#: Block states of Figure 10 (GSPZTC+TSE and GSPC).  GSPZTC itself only
+#: distinguishes RT from non-RT, which it stores in the same field.
+STATE_E0 = 0
+STATE_E1 = 1
+STATE_E2PLUS = 2
+STATE_RT = 3
+
+
+class ProbabilisticStreamPolicy(RRIPPolicy):
+    """Base class: per-bank saturating stream counters + sample plumbing."""
+
+    #: Counter names allocated per bank; subclasses override.
+    counter_names: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        t: int = 8,
+        rrpv_bits: int = 2,
+        counter_bits: int = 8,
+        acc_bits: int = 7,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        if not is_power_of_two(t):
+            raise ConfigError(f"threshold t must be a power of two, got {t}")
+        self.t = t
+        self.counter_max = (1 << counter_bits) - 1
+        self.acc_max = (1 << acc_bits) - 1
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        banks = geometry.banks
+        self.counters: Dict[str, List[int]] = {
+            name: [0] * banks for name in self.counter_names
+        }
+        self.acc = [0] * banks
+        #: Per-block stream state (RT bit for GSPZTC, Figure-10 state for
+        #: the epoch-aware policies).
+        self.state = [STATE_E0] * (geometry.num_sets * geometry.ways)
+
+    # -- counter plumbing -------------------------------------------------
+
+    def _inc(self, name: str, bank: int) -> None:
+        values = self.counters[name]
+        if values[bank] < self.counter_max:
+            values[bank] += 1
+
+    def _tick(self, bank: int) -> None:
+        """Count one sample-set access; halve everything on saturation."""
+        if self.acc[bank] >= self.acc_max:
+            for values in self.counters.values():
+                values[bank] >>= 1
+            self.acc[bank] = 0
+        else:
+            self.acc[bank] += 1
+
+    def _low_reuse(self, fill_name: str, hit_name: str, bank: int) -> bool:
+        """The paper's probability test: FILL > t * HIT."""
+        return self.counters[fill_name][bank] > self.t * self.counters[hit_name][bank]
+
+    # -- block-state helpers ----------------------------------------------
+
+    def _slot(self, set_index: int, way: int) -> int:
+        return set_index * self.geometry.ways + way
+
+    def reuse_probability(self, fill_name: str, hit_name: str, bank: int) -> float:
+        """Observed HIT / FILL ratio — for introspection and tests."""
+        fills = self.counters[fill_name][bank]
+        hits = self.counters[hit_name][bank]
+        return hits / fills if fills else 0.0

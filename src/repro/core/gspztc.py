@@ -1,0 +1,86 @@
+"""GSPZTC — graphics stream-aware probabilistic Z and texture caching.
+
+The first proposal (Table 3).  Sample sets run SRRIP and learn one reuse
+probability per stream through FILL(Z)/HIT(Z) and FILL(TEX)/HIT(TEX)
+counters; a texture hit that consumes a render target (RT bit set)
+counts as a texture *fill*, because the consumed block enters a fresh
+texture life.  Non-sample sets insert:
+
+* Z fills at RRPV 3 when ``FILL(Z) > t*HIT(Z)``, else 2;
+* TEX fills at RRPV 3 when ``FILL(TEX) > t*HIT(TEX)``, else 0;
+* RT fills at RRPV 0 (static maximum protection);
+* everything else at RRPV 2; and every hit promotes to RRPV 0.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessContext
+from repro.core.gspc_base import STATE_E0, STATE_RT, ProbabilisticStreamPolicy
+from repro.streams import StreamClass
+
+_Z = int(StreamClass.Z)
+_TEX = int(StreamClass.TEX)
+_RT = int(StreamClass.RT)
+
+
+class GSPZTCPolicy(ProbabilisticStreamPolicy):
+    name = "gspztc"
+    counter_names = ("fill_z", "hit_z", "fill_tex", "hit_tex")
+
+    def on_hit(self, ctx: AccessContext, way: int) -> None:
+        slot = self._slot(ctx.set_index, way)
+        state = self.state
+        sclass = ctx.sclass
+        if ctx.is_sample:
+            bank = ctx.bank
+            self._tick(bank)
+            if sclass == _TEX:
+                if state[slot] == STATE_RT:
+                    # RT -> TEX consumption starts a new texture life.
+                    self._inc("fill_tex", bank)
+                else:
+                    self._inc("hit_tex", bank)
+            elif sclass == _Z:
+                self._inc("hit_z", bank)
+        if sclass == _RT:
+            state[slot] = STATE_RT
+        elif sclass == _TEX and state[slot] == STATE_RT:
+            state[slot] = STATE_E0
+        # Table 3: any hit promotes to RRPV 0 (samples run SRRIP, which
+        # promotes identically).
+        self.rrpv[slot] = 0
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        slot = self._slot(ctx.set_index, way)
+        sclass = ctx.sclass
+        self.state[slot] = STATE_RT if sclass == _RT else STATE_E0
+        if ctx.is_sample:
+            bank = ctx.bank
+            self._tick(bank)
+            if sclass == _Z:
+                self._inc("fill_z", bank)
+            elif sclass == _TEX:
+                self._inc("fill_tex", bank)
+            self.insert(ctx, way, self.long_rrpv)  # SRRIP insertion
+            return
+        if sclass == _Z:
+            value = (
+                self.distant_rrpv
+                if self._low_reuse("fill_z", "hit_z", ctx.bank)
+                else self.long_rrpv
+            )
+        elif sclass == _TEX:
+            value = (
+                self.distant_rrpv
+                if self._low_reuse("fill_tex", "hit_tex", ctx.bank)
+                else 0
+            )
+        elif sclass == _RT:
+            value = 0
+        else:
+            value = self.long_rrpv
+        self.insert(ctx, way, value)
+
+    def on_evict(self, ctx: AccessContext, way: int) -> None:
+        # The RT bit is reset on eviction (we only track in-LLC reuses).
+        self.state[self._slot(ctx.set_index, way)] = STATE_E0

@@ -1,0 +1,129 @@
+"""GSPZTC+TSE — GSPZTC with texture sampler epochs (Table 4, Figure 10).
+
+Two state bits per block track the texture epochs: 00 = E0 (filled or
+freshly consumed from a render target), 01 = E1 (one texture hit),
+10 = E>=2, and 11 identifies a render-target block (replacing the RT
+bit).  The single FILL/HIT(TEX) pair of GSPZTC becomes per-epoch pairs
+FILL(0)/HIT(0) and FILL(1)/HIT(1), so a texture hit no longer blindly
+promotes to RRPV 0: the new RRPV is deduced from the reuse probability
+of the epoch the block is *entering*.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessContext
+from repro.core.gspc_base import (
+    STATE_E0,
+    STATE_E1,
+    STATE_E2PLUS,
+    STATE_RT,
+    ProbabilisticStreamPolicy,
+)
+from repro.streams import StreamClass
+
+_Z = int(StreamClass.Z)
+_TEX = int(StreamClass.TEX)
+_RT = int(StreamClass.RT)
+
+
+class GSPZTCTSEPolicy(ProbabilisticStreamPolicy):
+    name = "gspztc+tse"
+    counter_names = ("fill_z", "hit_z", "fill_e0", "hit_e0", "fill_e1", "hit_e1")
+
+    # -- non-sample insertion decisions ---------------------------------
+
+    def _tex_entry_rrpv(self, epoch: int, bank: int) -> int:
+        """RRPV for a texture block entering epoch 0 or 1 (Table 4)."""
+        fill_name, hit_name = ("fill_e0", "hit_e0") if epoch == 0 else (
+            "fill_e1",
+            "hit_e1",
+        )
+        return self.distant_rrpv if self._low_reuse(fill_name, hit_name, bank) else 0
+
+    def _rt_fill_rrpv(self, ctx: AccessContext) -> int:
+        """RT fills keep the static RRPV-0 protection (refined by GSPC)."""
+        return 0
+
+    def _on_sample_rt_fill(self, bank: int) -> None:
+        """GSPC overrides this to count render-target production."""
+
+    def _on_sample_rt_consumption(self, bank: int) -> None:
+        """GSPC overrides this to count render-target consumption."""
+
+    # -- hooks -----------------------------------------------------------
+
+    def on_hit(self, ctx: AccessContext, way: int) -> None:
+        slot = self._slot(ctx.set_index, way)
+        state = self.state
+        sclass = ctx.sclass
+        bank = ctx.bank
+        if ctx.is_sample:
+            self._tick(bank)
+            if sclass == _TEX:
+                current = state[slot]
+                if current == STATE_RT:
+                    self._inc("fill_e0", bank)
+                    self._on_sample_rt_consumption(bank)
+                    state[slot] = STATE_E0
+                elif current == STATE_E0:
+                    self._inc("hit_e0", bank)
+                    self._inc("fill_e1", bank)
+                    state[slot] = STATE_E1
+                elif current == STATE_E1:
+                    self._inc("hit_e1", bank)
+                    state[slot] = STATE_E2PLUS
+                else:
+                    state[slot] = STATE_E2PLUS
+            elif sclass == _Z:
+                self._inc("hit_z", bank)
+            elif sclass == _RT:
+                state[slot] = STATE_RT
+            self.rrpv[slot] = 0  # samples run SRRIP: hits promote to 0
+            return
+        if sclass == _TEX:
+            current = state[slot]
+            if current == STATE_RT:
+                self.rrpv[slot] = self._tex_entry_rrpv(0, bank)
+                state[slot] = STATE_E0
+            elif current == STATE_E0:
+                self.rrpv[slot] = self._tex_entry_rrpv(1, bank)
+                state[slot] = STATE_E1
+            else:
+                self.rrpv[slot] = 0
+                state[slot] = STATE_E2PLUS
+            return
+        if sclass == _RT:
+            state[slot] = STATE_RT
+        self.rrpv[slot] = 0
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        slot = self._slot(ctx.set_index, way)
+        sclass = ctx.sclass
+        bank = ctx.bank
+        self.state[slot] = STATE_RT if sclass == _RT else STATE_E0
+        if ctx.is_sample:
+            self._tick(bank)
+            if sclass == _Z:
+                self._inc("fill_z", bank)
+            elif sclass == _TEX:
+                self._inc("fill_e0", bank)
+            elif sclass == _RT:
+                self._on_sample_rt_fill(bank)
+            self.insert(ctx, way, self.long_rrpv)
+            return
+        if sclass == _Z:
+            value = (
+                self.distant_rrpv
+                if self._low_reuse("fill_z", "hit_z", bank)
+                else self.long_rrpv
+            )
+        elif sclass == _TEX:
+            value = self._tex_entry_rrpv(0, bank)
+        elif sclass == _RT:
+            value = self._rt_fill_rrpv(ctx)
+        else:
+            value = self.long_rrpv
+        self.insert(ctx, way, value)
+
+    def on_evict(self, ctx: AccessContext, way: int) -> None:
+        self.state[self._slot(ctx.set_index, way)] = STATE_E0

@@ -1,0 +1,43 @@
+"""Single-bit not-recently-used (NRU) replacement.
+
+Each block carries one reference bit, set on fill and on every hit.  The
+victim is the lowest-numbered way whose bit is clear; if every bit in the
+set is set, all bits are cleared first (equivalent to one-bit RRIP).
+NRU is one of the two reference policies of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.base import AccessContext, ReplacementPolicy
+
+
+class NRUPolicy(ReplacementPolicy):
+    name = "nru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.referenced: List[bool] = []
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        self.referenced = [False] * (geometry.num_sets * geometry.ways)
+
+    def select_victim(self, ctx: AccessContext) -> int:
+        ways = self.geometry.ways
+        base = ctx.set_index * ways
+        referenced = self.referenced
+        for way in range(ways):
+            if not referenced[base + way]:
+                return way
+        for way in range(ways):
+            referenced[base + way] = False
+        return 0
+
+    def on_hit(self, ctx: AccessContext, way: int) -> None:
+        self.referenced[ctx.set_index * self.geometry.ways + way] = True
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        self.referenced[ctx.set_index * self.geometry.ways + way] = True

@@ -1,0 +1,115 @@
+"""Policy registry: construct any evaluated policy from its name.
+
+Names match Table 6 of the paper (lower-cased):
+
+``drrip``, ``nru``, ``ship-mem``, ``gs-drrip``, ``gspztc``,
+``gspztc+tse``, ``gspc``, plus the baselines ``lru``, ``srrip``,
+``brrip``, ``belady``, the four-bit variants ``drrip4`` / ``gs-drrip4``
+(Figure 14), and a ``+ucd`` suffix on any name for the uncached
+displayable color variant (e.g. ``gspc+ucd``, ``drrip+ucd``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from repro.core.base import ReplacementPolicy
+from repro.core.belady import BeladyPolicy
+from repro.core.brrip import BRRIPPolicy
+from repro.core.dip import BIPPolicy, DIPPolicy
+from repro.core.drrip import DRRIPPolicy
+from repro.core.gs_drrip import GSDRRIPPolicy
+from repro.core.gspc import GSPCPolicy
+from repro.core.gspc_bypass import GSPCBypassPolicy
+from repro.core.gspztc import GSPZTCPolicy
+from repro.core.gspztc_tse import GSPZTCTSEPolicy
+from repro.core.lru import LRUPolicy
+from repro.core.nru import NRUPolicy
+from repro.core.ship import SHiPMemPolicy
+from repro.core.srrip import SRRIPPolicy
+from repro.errors import PolicyError
+from repro.streams import Stream
+
+UCD_SUFFIX = "+ucd"
+
+_FACTORIES: Dict[str, Tuple[Callable[..., ReplacementPolicy], str]] = {
+    "nru": (NRUPolicy, "Single-bit not-recently-used"),
+    "lru": (LRUPolicy, "True least-recently-used"),
+    "srrip": (SRRIPPolicy, "Static re-reference interval prediction"),
+    "brrip": (BRRIPPolicy, "Bimodal re-reference interval prediction"),
+    "bip": (BIPPolicy, "Bimodal insertion policy (recency stack)"),
+    "dip": (DIPPolicy, "Dynamic insertion policy (LRU vs BIP dueling)"),
+    "drrip": (DRRIPPolicy, "Dynamic re-reference interval prediction"),
+    "drrip4": (
+        lambda **kw: DRRIPPolicy(rrpv_bits=4, **kw),
+        "Four-bit DRRIP (iso-overhead study)",
+    ),
+    "gs-drrip": (GSDRRIPPolicy, "Graphics stream-aware DRRIP"),
+    "gs-drrip4": (
+        lambda **kw: GSDRRIPPolicy(rrpv_bits=4, **kw),
+        "Four-bit graphics stream-aware DRRIP",
+    ),
+    "ship-mem": (SHiPMemPolicy, "Memory signature-based hit prediction"),
+    "belady": (BeladyPolicy, "Belady's optimal policy (offline)"),
+    "gspztc": (
+        GSPZTCPolicy,
+        "Graphics stream-aware probabilistic Z and texture caching",
+    ),
+    "gspztc+tse": (GSPZTCTSEPolicy, "GSPZTC with texture sampler epochs"),
+    "gspc": (GSPCPolicy, "Graphics stream-aware probabilistic caching"),
+    "gspc+bypass": (
+        GSPCBypassPolicy,
+        "GSPC extension: bypass probably-dead texture fills",
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicySpec:
+    """A resolved policy name: how to build it and how to run it."""
+
+    name: str
+    base_name: str
+    description: str
+    #: Streams that bypass the LLC entirely (the UCD variants).
+    uncached_streams: FrozenSet[Stream]
+    factory: Callable[..., ReplacementPolicy]
+
+    def build(self, **kwargs: object) -> ReplacementPolicy:
+        policy = self.factory(**kwargs)
+        policy.name = self.name
+        return policy
+
+
+def policy_spec(name: str) -> PolicySpec:
+    """Resolve a (possibly ``+ucd``-suffixed) policy name."""
+    key = name.strip().lower()
+    uncached: FrozenSet[Stream] = frozenset()
+    description_suffix = ""
+    if key.endswith(UCD_SUFFIX):
+        key = key[: -len(UCD_SUFFIX)]
+        uncached = frozenset({Stream.DISPLAY})
+        description_suffix = " with uncached displayable color"
+    if key not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise PolicyError(f"unknown policy {name!r}; known policies: {known}")
+    factory, description = _FACTORIES[key]
+    return PolicySpec(
+        name=key + (UCD_SUFFIX if uncached else ""),
+        base_name=key,
+        description=description + description_suffix,
+        uncached_streams=uncached,
+        factory=factory,
+    )
+
+
+def make_policy(name: str, **kwargs: object) -> ReplacementPolicy:
+    """Build a policy instance by name (ignores the UCD suffix's bypass —
+    use :func:`policy_spec` when running a simulation)."""
+    return policy_spec(name).build(**kwargs)
+
+
+def available_policies() -> Tuple[str, ...]:
+    """All registered base policy names (each also accepts ``+ucd``)."""
+    return tuple(sorted(_FACTORIES))

@@ -1,0 +1,72 @@
+"""SHiP-mem: memory-region signature-based hit prediction [Wu et al.].
+
+Graphics fills come largely from fixed-function hardware, so the PC and
+instruction-sequence SHiP variants are inapplicable; the paper evaluates
+the memory variant (Section 5.1): the physical address space is divided
+into contiguous 16 KB regions, a 14-bit region identifier (address bits
+[27:14]) is hashed into a per-bank 16K-entry table of 3-bit saturating
+counters, hits increment the region counter, evictions of never-reused
+blocks decrement it, and a fill inserts with the distant RRPV when the
+region counter is zero (else ``2**n - 2``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.base import AccessContext
+from repro.core.rrip import RRIPPolicy
+from repro.utils.bitops import mix_bits
+
+REGION_BITS = 14
+REGION_SHIFT = 14          # 16 KB regions
+TABLE_ENTRIES = 1 << 14    # 16K entries per bank
+COUNTER_MAX = 7            # 3-bit counters
+
+
+class SHiPMemPolicy(RRIPPolicy):
+    name = "ship-mem"
+
+    def bind(self, geometry: CacheGeometry) -> None:
+        super().bind(geometry)
+        blocks = geometry.num_sets * geometry.ways
+        #: Per-bank signature history counter tables (SHCT).
+        self.shct: List[List[int]] = [
+            [1] * TABLE_ENTRIES for _ in range(geometry.banks)
+        ]
+        #: Stored signature and was-reused outcome per resident block.
+        self.signature = [0] * blocks
+        self.reused = [False] * blocks
+
+    @staticmethod
+    def _signature(address: int) -> int:
+        region = (address >> REGION_SHIFT) & ((1 << REGION_BITS) - 1)
+        return mix_bits(region) & (TABLE_ENTRIES - 1)
+
+    def on_hit(self, ctx: AccessContext, way: int) -> None:
+        super().on_hit(ctx, way)
+        slot = ctx.set_index * self.geometry.ways + way
+        table = self.shct[ctx.bank]
+        signature = self.signature[slot]
+        if table[signature] < COUNTER_MAX:
+            table[signature] += 1
+        self.reused[slot] = True
+
+    def on_evict(self, ctx: AccessContext, way: int) -> None:
+        slot = ctx.set_index * self.geometry.ways + way
+        if not self.reused[slot]:
+            table = self.shct[ctx.bank]
+            signature = self.signature[slot]
+            if table[signature] > 0:
+                table[signature] -= 1
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        slot = ctx.set_index * self.geometry.ways + way
+        signature = self._signature(ctx.address)
+        self.signature[slot] = signature
+        self.reused[slot] = False
+        if self.shct[ctx.bank][signature] == 0:
+            self.insert(ctx, way, self.distant_rrpv)
+        else:
+            self.insert(ctx, way, self.long_rrpv)

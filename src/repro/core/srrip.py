@@ -1,0 +1,18 @@
+"""Static re-reference interval prediction (SRRIP) [Jaleel et al., ISCA'10].
+
+Every block is inserted with RRPV ``2**n - 2`` (a "long" re-reference
+interval), promoted to RRPV 0 on hits, and evicted at RRPV ``2**n - 1``.
+SRRIP is also the fixed policy executed by the paper's LLC sample sets.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AccessContext
+from repro.core.rrip import RRIPPolicy
+
+
+class SRRIPPolicy(RRIPPolicy):
+    name = "srrip"
+
+    def on_fill(self, ctx: AccessContext, way: int) -> None:
+        self.insert(ctx, way, self.long_rrpv)

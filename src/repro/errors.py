@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised eagerly at construction/validation time (e.g. a cache whose
+    capacity is not a multiple of ``ways * block_bytes``), never lazily in
+    the middle of a simulation.
+    """
+
+
+class TraceError(ReproError):
+    """A trace file or trace container is malformed."""
+
+
+class PolicyError(ReproError):
+    """A replacement policy was misused or could not be constructed.
+
+    Examples: requesting an unknown policy name from the registry, or
+    running Belady's OPT without precomputed next-use information.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This always indicates a bug in the library (an invariant violation),
+    not bad user input; it is raised instead of silently corrupting
+    results.
+    """
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload description is invalid or cannot be generated."""

@@ -1,0 +1,11 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+Each ``figNN``/``tableN`` module exposes ``run(config) -> Table`` (or a
+list of Tables) printing the same rows/series the paper reports; the
+``runner`` module provides the command-line entry point
+(``python -m repro.experiments.runner --list``).
+"""
+
+from repro.experiments.common import ExperimentConfig, EXPERIMENTS, get_experiment
+
+__all__ = ["ExperimentConfig", "EXPERIMENTS", "get_experiment"]

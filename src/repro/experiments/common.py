@@ -1,0 +1,197 @@
+"""Shared infrastructure for the experiment modules.
+
+* :class:`ExperimentConfig` — scale, frame selection, LLC size, cache
+  directory.
+* Frame-trace caching — synthetic frames are deterministic, so they are
+  generated once per (app, frame, scale) and memoised on disk.
+* Result caching — offline simulation results are memoised in-process so
+  experiments that share (frame, policy) runs do not recompute them.
+* The experiment registry used by the CLI runner and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.characterize import FrameCharacterization, characterize_frame
+from repro.analysis.tables import Table
+from repro.config import DEFAULT_SCALE, LLCConfig, SystemConfig, paper_baseline
+from repro.errors import ReproError
+from repro.sim.offline import simulate_trace
+from repro.sim.results import SimResult
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import Trace
+from repro.workloads.apps import ALL_APPS, FrameSpec, all_frames
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment."""
+
+    #: Linear frame scale (1.0 = the paper's resolutions).
+    scale: float = DEFAULT_SCALE
+    #: Frames per application (None = every frame; 52 total).
+    frames_per_app: Optional[int] = 1
+    #: LLC capacity in MB before scaling (8 MB baseline, 16 MB Fig 16).
+    llc_mb: int = 8
+    #: Directory for memoised frame traces (None disables the cache).
+    cache_dir: Optional[str] = ".repro_cache"
+
+    def system(self) -> SystemConfig:
+        return paper_baseline(llc_mb=self.llc_mb, scale=self.scale)
+
+    def llc(self) -> LLCConfig:
+        return self.system().llc
+
+    def frames(self) -> List[FrameSpec]:
+        if self.frames_per_app is None:
+            return all_frames()
+        return [
+            FrameSpec(app, index)
+            for app in ALL_APPS
+            for index in range(min(self.frames_per_app, app.num_frames))
+        ]
+
+
+# -- frame trace cache ---------------------------------------------------------
+
+def frame_trace(spec: FrameSpec, config: ExperimentConfig) -> Trace:
+    """The LLC trace of one frame, memoised on disk."""
+    from repro.workloads.framegen import generate_frame_trace
+
+    if config.cache_dir is None:
+        return generate_frame_trace(spec.app, spec.frame_index, config.scale)
+    key = f"{spec.app.abbrev}_f{spec.frame_index}_s{config.scale:g}.npz"
+    path = os.path.join(config.cache_dir, "traces", key)
+    if os.path.exists(path):
+        try:
+            return load_trace(path)
+        except ReproError:
+            pass  # stale/corrupt cache entry: regenerate below
+    trace = generate_frame_trace(spec.app, spec.frame_index, config.scale)
+    save_trace(trace, path)
+    return trace
+
+
+# -- in-process result caches ----------------------------------------------------
+
+_SIM_CACHE: Dict[Tuple, SimResult] = {}
+_CHAR_CACHE: Dict[Tuple, FrameCharacterization] = {}
+
+
+def _cache_key(spec: FrameSpec, policy: str, config: ExperimentConfig) -> Tuple:
+    return (spec.app.abbrev, spec.frame_index, policy, config.scale, config.llc_mb)
+
+
+def frame_result(
+    spec: FrameSpec, policy: str, config: ExperimentConfig
+) -> SimResult:
+    """Offline simulation of one (frame, policy), memoised in-process."""
+    key = _cache_key(spec, policy, config)
+    if key not in _SIM_CACHE:
+        _SIM_CACHE[key] = simulate_trace(
+            frame_trace(spec, config), policy, config.llc()
+        )
+    return _SIM_CACHE[key]
+
+
+def frame_characterization(
+    spec: FrameSpec, policy: str, config: ExperimentConfig
+) -> FrameCharacterization:
+    """Characterization of one (frame, policy), memoised in-process."""
+    key = _cache_key(spec, policy, config)
+    if key not in _CHAR_CACHE:
+        _CHAR_CACHE[key] = characterize_frame(
+            frame_trace(spec, config), policy, config.llc()
+        )
+    return _CHAR_CACHE[key]
+
+
+def clear_result_caches() -> None:
+    _SIM_CACHE.clear()
+    _CHAR_CACHE.clear()
+
+
+def app_average(values_by_frame: Dict[str, List[float]]) -> Dict[str, float]:
+    """Collapse per-frame values into per-application averages."""
+    return {
+        app: sum(values) / len(values)
+        for app, values in values_by_frame.items()
+        if values
+    }
+
+
+def group_frames_by_app(
+    frames: Sequence[FrameSpec],
+) -> Dict[str, List[FrameSpec]]:
+    grouped: Dict[str, List[FrameSpec]] = {}
+    for spec in frames:
+        grouped.setdefault(spec.app.abbrev, []).append(spec)
+    return grouped
+
+
+# -- experiment registry -----------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """A registered reproduction of one paper table/figure."""
+
+    id: str
+    title: str
+    paper_claim: str
+    run: Callable[[ExperimentConfig], List[Table]]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {}
+
+
+def register(id: str, title: str, paper_claim: str):
+    """Decorator registering an experiment entry point."""
+
+    def wrap(func: Callable[[ExperimentConfig], List[Table]]) -> Callable:
+        EXPERIMENTS[id] = Experiment(id, title, paper_claim, func)
+        return func
+
+    return wrap
+
+
+def get_experiment(id: str) -> Experiment:
+    key = id.strip().lower()
+    if key not in EXPERIMENTS:
+        # Import the experiment modules lazily so the registry fills in.
+        _import_all()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ReproError(f"unknown experiment {id!r}; known: {known}")
+    return EXPERIMENTS[key]
+
+
+def _import_all() -> None:
+    from repro.experiments import (  # noqa: F401
+        ablation,
+        extensions,
+        fig01,
+        fig04,
+        fig05,
+        fig06,
+        fig07,
+        fig08,
+        fig09,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        fig17,
+        table1,
+        table6,
+        timing_models,
+    )
+
+
+def all_experiments() -> Dict[str, Experiment]:
+    _import_all()
+    return dict(EXPERIMENTS)

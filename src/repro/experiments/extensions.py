@@ -1,0 +1,67 @@
+"""Extension experiments beyond the paper's evaluation.
+
+* **Texture bypass** — GSPC already inserts probably-dead textures at
+  the distant RRPV; the bypass extension refuses to install them at
+  all (legal in a non-inclusive LLC).  How much further does that go?
+* **Multi-frame sequences** — the paper evaluates discrete frames;
+  across consecutive frames of an animation, persistent resources give
+  every policy more far reuse to protect.  Does the policy ordering
+  survive?
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table, mean
+from repro.experiments.common import ExperimentConfig, frame_result, register
+from repro.sim.offline import simulate_trace
+from repro.workloads.apps import ALL_APPS
+from repro.workloads.sequence import generate_sequence_trace
+
+SEQ_POLICIES = ("drrip", "nru", "gspztc+tse", "gspc+ucd", "belady")
+
+
+@register(
+    "extensions",
+    "Beyond the paper: texture bypass and multi-frame sequences",
+    "Extensions enabled by this library; not results from the paper.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    frames = config.frames()
+
+    bypass = Table(
+        "Extension A: dead-texture bypass (misses normalized to DRRIP)",
+        ["Policy", "Normalized misses"],
+    )
+    for policy in ("gspc", "gspc+bypass", "gspc+ucd", "gspc+bypass+ucd"):
+        ratios = []
+        for spec in frames:
+            baseline = frame_result(spec, "drrip", config)
+            ratios.append(
+                frame_result(spec, policy, config).misses_normalized_to(baseline)
+            )
+        bypass.add_row(policy.upper(), mean(ratios))
+
+    sequences = Table(
+        "Extension B: two-frame animation sequences "
+        "(misses normalized to DRRIP)",
+        ["Application"] + [p.upper() for p in SEQ_POLICIES if p != "drrip"],
+    )
+    totals = {policy: [] for policy in SEQ_POLICIES if policy != "drrip"}
+    llc = config.llc()
+    for app in ALL_APPS[:: max(1, len(ALL_APPS) // 6)]:
+        trace = generate_sequence_trace(app, num_frames=2, scale=config.scale)
+        baseline = simulate_trace(trace, "drrip", llc)
+        row = [app.abbrev]
+        for policy in totals:
+            ratio = simulate_trace(trace, policy, llc).misses_normalized_to(
+                baseline
+            )
+            totals[policy].append(ratio)
+            row.append(ratio)
+        sequences.add_row(*row)
+    sequences.add_row(
+        "Average", *[mean(totals[policy]) for policy in totals]
+    )
+    return [bypass, sequences]

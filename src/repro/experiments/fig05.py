@@ -1,0 +1,55 @@
+"""Figure 5: per-stream hit rates under OPT, DRRIP, and NRU.
+
+Paper averages: texture 53.4 / 22.0 / 18.4 %, render target
+59.8 / 50.1 / 41.5 %, Z 77.1 / ~58 / ~58 % for OPT / DRRIP / NRU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table, mean
+from repro.experiments.common import (
+    ExperimentConfig,
+    frame_result,
+    group_frames_by_app,
+    register,
+)
+
+POLICIES = ("belady", "drrip", "nru")
+PANELS = (
+    ("tex_hit_rate", "texture sampler"),
+    ("rt_hit_rate", "render target"),
+    ("z_hit_rate", "Z"),
+)
+
+
+@register(
+    "fig05",
+    "Texture / render-target / Z hit rates for OPT, DRRIP, NRU",
+    "OPT's texture hit rate dwarfs DRRIP/NRU; the RT gap is small; the "
+    "Z gap is moderate.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    tables: List[Table] = []
+    grouped = group_frames_by_app(config.frames())
+    for attribute, label in PANELS:
+        table = Table(
+            f"Figure 5 ({label} hit rate, %)",
+            ["Application"] + [p.upper() for p in POLICIES],
+        )
+        totals = {policy: [] for policy in POLICIES}
+        for app, frames in grouped.items():
+            per_policy = {policy: [] for policy in POLICIES}
+            for spec in frames:
+                for policy in POLICIES:
+                    stats = frame_result(spec, policy, config).stats
+                    per_policy[policy].append(100.0 * getattr(stats, attribute))
+            table.add_row(
+                app, *[mean(per_policy[policy]) for policy in POLICIES]
+            )
+            for policy in POLICIES:
+                totals[policy].extend(per_policy[policy])
+        table.add_row("Average", *[mean(totals[policy]) for policy in POLICIES])
+        tables.append(table)
+    return tables

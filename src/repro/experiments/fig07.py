@@ -1,0 +1,59 @@
+"""Figure 7: texture epochs under Belady's OPT.
+
+Upper panel: distribution of intra-stream texture hits over epochs
+(paper: E0 79%, E1 15%, E2 4%, E>=3 2%).  Lower panel: death ratio of
+each epoch (paper: E0 0.81, E1 0.73, E2 0.53).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table, mean
+from repro.experiments.common import (
+    ExperimentConfig,
+    frame_characterization,
+    group_frames_by_app,
+    register,
+)
+
+EPOCH_LABELS = ("E0", "E1", "E2", "E>=3")
+
+
+@register(
+    "fig07",
+    "Texture epochs under OPT: hit distribution and death ratios",
+    "Most intra-stream texture hits come from E0, yet E0/E1 death "
+    "ratios are high (0.81/0.73) and only E2 is ~half alive.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    grouped = group_frames_by_app(config.frames())
+    upper = Table(
+        "Figure 7 upper: intra-stream texture hits by epoch (%)",
+        ["Application"] + list(EPOCH_LABELS),
+    )
+    lower = Table(
+        "Figure 7 lower: texture epoch death ratios",
+        ["Application", "E0", "E1", "E2"],
+    )
+    hit_totals = [[] for _ in EPOCH_LABELS]
+    death_totals = [[] for _ in range(3)]
+    for app, frames in grouped.items():
+        hits_app = [[] for _ in EPOCH_LABELS]
+        deaths_app = [[] for _ in range(3)]
+        for spec in frames:
+            epochs = frame_characterization(spec, "belady", config).tex_epochs
+            distribution = epochs.hit_distribution()
+            for index in range(len(EPOCH_LABELS)):
+                hits_app[index].append(100.0 * distribution[index])
+            for epoch in range(3):
+                deaths_app[epoch].append(epochs.death_ratio(epoch))
+        upper.add_row(app, *[mean(h) for h in hits_app])
+        lower.add_row(app, *[mean(d) for d in deaths_app])
+        for index in range(len(EPOCH_LABELS)):
+            hit_totals[index].extend(hits_app[index])
+        for epoch in range(3):
+            death_totals[epoch].extend(deaths_app[epoch])
+    upper.add_row("Average", *[mean(h) for h in hit_totals])
+    lower.add_row("Average", *[mean(d) for d in death_totals])
+    return [upper, lower]

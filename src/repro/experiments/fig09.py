@@ -1,0 +1,42 @@
+"""Figure 9: Z-stream epoch death ratios under Belady's OPT.
+
+Paper: E0 0.61, E1 0.38, E2 0.26 — unlike textures, only the youngest
+Z blocks die often, so GSPC tracks a single collective Z probability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table, mean
+from repro.experiments.common import (
+    ExperimentConfig,
+    frame_characterization,
+    group_frames_by_app,
+    register,
+)
+
+
+@register(
+    "fig09",
+    "Z-stream epoch death ratios under OPT",
+    "Z death ratios fall quickly with epoch (0.61 / 0.38 / 0.26): "
+    "Z blocks that survive one reuse keep being reused.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    table = Table(
+        "Figure 9: Z epoch death ratios (Belady's OPT)",
+        ["Application", "E0", "E1", "E2"],
+    )
+    totals = [[] for _ in range(3)]
+    for app, frames in group_frames_by_app(config.frames()).items():
+        per_epoch = [[] for _ in range(3)]
+        for spec in frames:
+            epochs = frame_characterization(spec, "belady", config).z_epochs
+            for epoch in range(3):
+                per_epoch[epoch].append(epochs.death_ratio(epoch))
+        table.add_row(app, *[mean(values) for values in per_epoch])
+        for epoch in range(3):
+            totals[epoch].extend(per_epoch[epoch])
+    table.add_row("Average", *[mean(values) for values in totals])
+    return [table]

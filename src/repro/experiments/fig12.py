@@ -1,0 +1,59 @@
+"""Figure 12: LLC misses of all evaluated policies normalized to DRRIP.
+
+The paper's central miss-count comparison: NRU +6.2%, SHiP-mem ~0,
+GS-DRRIP -2.9%, GSPZTC -4.8%, GSPZTC+TSE -11.5%, GSPC -11.7%,
+GSPC+UCD -13.1%, DRRIP+UCD ~0 on average across 52 frames.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table, mean
+from repro.experiments.common import (
+    ExperimentConfig,
+    frame_result,
+    group_frames_by_app,
+    register,
+)
+
+POLICIES = (
+    "nru",
+    "ship-mem",
+    "gs-drrip",
+    "gspztc",
+    "gspztc+tse",
+    "gspc",
+    "gspc+ucd",
+    "drrip+ucd",
+)
+
+
+@register(
+    "fig12",
+    "LLC misses of all policies normalized to two-bit DRRIP",
+    "GSPC+UCD saves the most misses; each GSPC refinement helps; NRU "
+    "hurts; SHiP-mem and DRRIP+UCD are ~neutral.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    table = Table(
+        "Figure 12: LLC misses normalized to DRRIP",
+        ["Application"] + [p.upper() for p in POLICIES],
+    )
+    totals = {policy: [] for policy in POLICIES}
+    for app, frames in group_frames_by_app(config.frames()).items():
+        per_policy = {policy: [] for policy in POLICIES}
+        for spec in frames:
+            baseline = frame_result(spec, "drrip", config)
+            for policy in POLICIES:
+                per_policy[policy].append(
+                    frame_result(spec, policy, config).misses_normalized_to(
+                        baseline
+                    )
+                )
+        table.add_row(app, *[mean(per_policy[policy]) for policy in POLICIES])
+        for policy in POLICIES:
+            totals[policy].extend(per_policy[policy])
+    table.add_row("Average", *[mean(totals[policy]) for policy in POLICIES])
+    table.notes.append("values < 1.0 mean fewer LLC misses than DRRIP")
+    return [table]

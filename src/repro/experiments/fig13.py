@@ -1,0 +1,57 @@
+"""Figure 13: how the policies move the four key rates.
+
+Texture-sampler hit rate, render-target-to-texture consumption rate,
+render-target (blending) hit rate and Z hit rate, averaged over all
+frames, for the policy progression DRRIP -> GS-DRRIP -> GSPZTC ->
+GSPZTC+TSE -> GSPC -> GSPC+UCD (paper: the texture and consumption
+rates climb through the GSPC family; GSPC's RT hit rate approaches
+Belady's).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table, mean
+from repro.experiments.common import ExperimentConfig, frame_result, register
+
+POLICIES = (
+    "belady",
+    "drrip",
+    "nru",
+    "gs-drrip",
+    "gspztc",
+    "gspztc+tse",
+    "gspc",
+    "gspc+ucd",
+)
+METRICS = (
+    ("tex_hit_rate", "TEX hit rate"),
+    ("rt_consumption_rate", "RT->TEX consumption"),
+    ("rt_hit_rate", "RT (blending) hit rate"),
+    ("z_hit_rate", "Z hit rate"),
+)
+
+
+@register(
+    "fig13",
+    "Texture/consumption/RT/Z rates per policy (averaged over frames)",
+    "The GSPC family raises texture hit and RT-consumption rates; GSPC "
+    "recovers the Z hit rate that static RT protection costs.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    table = Table(
+        "Figure 13: key rates per policy (%, averaged over frames)",
+        ["Policy"] + [label for _, label in METRICS],
+    )
+    frames = config.frames()
+    for policy in POLICIES:
+        values = {attribute: [] for attribute, _ in METRICS}
+        for spec in frames:
+            stats = frame_result(spec, policy, config).stats
+            for attribute, _ in METRICS:
+                values[attribute].append(100.0 * getattr(stats, attribute))
+        table.add_row(
+            policy.upper(), *[mean(values[attribute]) for attribute, _ in METRICS]
+        )
+    return [table]

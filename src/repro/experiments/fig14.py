@@ -1,0 +1,51 @@
+"""Figure 14: iso-overhead comparison at four replacement-state bits.
+
+GSPC needs four state bits per block (two RRPV + two stream-state), so
+the paper compares it against LRU, four-bit DRRIP and four-bit GS-DRRIP
+(paper: LRU +7.2%, DRRIP4 -0.4%, GS-DRRIP4 -1.7%, GSPC -11.8% misses
+vs two-bit DRRIP).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table, mean
+from repro.experiments.common import (
+    ExperimentConfig,
+    frame_result,
+    group_frames_by_app,
+    register,
+)
+
+POLICIES = ("lru", "drrip4", "gs-drrip4", "gspc+ucd")
+
+
+@register(
+    "fig14",
+    "Iso-overhead policies (4 replacement-state bits) vs two-bit DRRIP",
+    "At equal state cost, GSPC far outperforms LRU and the four-bit "
+    "RRIP variants.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    table = Table(
+        "Figure 14: LLC misses normalized to two-bit DRRIP "
+        "(iso-overhead: 4 state bits/block)",
+        ["Application"] + [p.upper() for p in POLICIES],
+    )
+    totals = {policy: [] for policy in POLICIES}
+    for app, frames in group_frames_by_app(config.frames()).items():
+        per_policy = {policy: [] for policy in POLICIES}
+        for spec in frames:
+            baseline = frame_result(spec, "drrip", config)
+            for policy in POLICIES:
+                per_policy[policy].append(
+                    frame_result(spec, policy, config).misses_normalized_to(
+                        baseline
+                    )
+                )
+        table.add_row(app, *[mean(per_policy[policy]) for policy in POLICIES])
+        for policy in POLICIES:
+            totals[policy].extend(per_policy[policy])
+    table.add_row("Average", *[mean(totals[policy]) for policy in POLICIES])
+    return [table]

@@ -1,0 +1,107 @@
+"""Command-line experiment runner.
+
+Examples::
+
+    gspc-experiments --list
+    gspc-experiments fig12
+    gspc-experiments fig01 fig05 --frames-per-app 2 --scale 0.125
+    gspc-experiments --all --full --csv out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.config import DEFAULT_SCALE
+from repro.experiments.common import (
+    ExperimentConfig,
+    all_experiments,
+    get_experiment,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gspc-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig01, fig04, ..., table1, table6)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"linear frame scale (default {DEFAULT_SCALE}; 1.0 = paper)",
+    )
+    parser.add_argument(
+        "--frames-per-app",
+        type=int,
+        default=1,
+        help="frames per application (default 1)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use all 52 frames (overrides --frames-per-app)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the trace cache"
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", help="also write each table as CSV into DIR"
+    )
+    return parser
+
+
+def run_experiments(
+    ids: List[str], config: ExperimentConfig, csv_dir: Optional[str] = None
+) -> int:
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        print(f"\n### {experiment.id}: {experiment.title}")
+        print(f"paper claim: {experiment.paper_claim}")
+        started = time.perf_counter()
+        tables = experiment.run(config)
+        elapsed = time.perf_counter() - started
+        for table_index, table in enumerate(tables):
+            print()
+            print(table.render())
+            if csv_dir:
+                os.makedirs(csv_dir, exist_ok=True)
+                path = os.path.join(
+                    csv_dir, f"{experiment.id}_{table_index}.csv"
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(table.to_csv())
+        print(f"\n[{experiment.id} completed in {elapsed:.1f}s]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = all_experiments()
+    if args.list or (not args.experiments and not args.all):
+        print("Available experiments:")
+        for experiment in sorted(registry.values(), key=lambda e: e.id):
+            print(f"  {experiment.id:8s} {experiment.title}")
+        return 0
+    config = ExperimentConfig(
+        scale=args.scale,
+        frames_per_app=None if args.full else args.frames_per_app,
+        cache_dir=None if args.no_cache else ".repro_cache",
+    )
+    ids = sorted(registry) if args.all else args.experiments
+    return run_experiments(ids, config, args.csv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

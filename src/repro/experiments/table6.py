@@ -1,0 +1,34 @@
+"""Table 6: the evaluated policies."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table
+from repro.core.registry import policy_spec
+from repro.experiments.common import ExperimentConfig, register
+
+EVALUATED = [
+    "drrip",
+    "nru",
+    "ship-mem",
+    "gs-drrip",
+    "gspztc",
+    "gspztc+tse",
+    "gspc",
+    "gspc+ucd",
+    "drrip+ucd",
+]
+
+
+@register(
+    "table6",
+    "Evaluated policies",
+    "The policy roster of Table 6.",
+)
+def run(config: ExperimentConfig) -> List[Table]:
+    table = Table("Table 6: Evaluated policies", ["Policy", "Description"])
+    for name in EVALUATED:
+        spec = policy_spec(name)
+        table.add_row(spec.name.upper(), spec.description)
+    return [table]

@@ -1,0 +1,11 @@
+"""GPU timing models: DRAM, LLC occupancy, shader compute, frame time."""
+
+from repro.gpu.dram import DRAMTimingModel
+from repro.gpu.timing import FrameTiming, FrameTimingSimulator, simulate_frame_timing
+
+__all__ = [
+    "DRAMTimingModel",
+    "FrameTiming",
+    "FrameTimingSimulator",
+    "simulate_frame_timing",
+]

@@ -1,0 +1,28 @@
+"""LLC service-time model.
+
+The banked LLC (four 2 MB banks at 4 GHz, 20-cycle load-to-use) limits
+throughput to one lookup per bank per cycle; its latency contribution is
+folded into the exposed-latency term of the shader model.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig, LLCConfig
+
+
+class LLCTimingModel:
+    """Throughput/latency of the shared LLC."""
+
+    def __init__(self, llc: LLCConfig, gpu: GPUConfig) -> None:
+        self.llc = llc
+        self.gpu = gpu
+        #: One lookup per bank per LLC cycle.
+        self.lookups_per_ns = llc.banks * gpu.llc_clock_ghz
+
+    def occupancy_ns(self, lookups: int) -> float:
+        """Bank-limited service time for a window's lookups."""
+        return lookups / self.lookups_per_ns
+
+    @property
+    def hit_latency_ns(self) -> float:
+        return self.gpu.llc_latency_ns

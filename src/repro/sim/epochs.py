@@ -1,0 +1,158 @@
+"""Epoch analysis of block lifetimes (Section 2.3).
+
+The life of a block in the LLC, from fill to eviction, is divided into
+epochs demarcated by the hits the block enjoys: a block enters E0 when
+filled (or, for the texture stream, when a render-target block is
+consumed by the samplers), and moves from E_k to E_{k+1} on each hit.
+The *death ratio* of E_k is the fraction of blocks that entered E_k but
+were evicted before reaching E_{k+1}; the complement is the epoch's
+reuse probability.  Figures 7 and 9 report these for the texture and Z
+streams under Belady's optimal policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.cache.llc import LLCObserver
+from repro.core.base import AccessContext
+from repro.streams import StreamClass
+
+#: Epochs 0, 1, 2 are tracked individually; 3 stands for E>=3.
+EPOCH_CAP = 3
+_UNTRACKED = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochStats:
+    """Final epoch statistics for one tracked stream class."""
+
+    #: entered[k]: block-lives that reached epoch k (k = 0..EPOCH_CAP).
+    entered: Tuple[int, ...]
+    #: hits_from[k]: hits received by blocks while in epoch k
+    #: (hits_from[EPOCH_CAP] aggregates all hits at epoch >= EPOCH_CAP).
+    hits_from: Tuple[int, ...]
+    #: still_alive[k]: lives resident in epoch k when tracking ended.
+    still_alive: Tuple[int, ...]
+    #: lives ended by the block being re-acquired by another stream
+    #: (e.g. a texture block turned back into a render target).
+    conversions: int
+
+    def death_ratio(self, epoch: int, exclude_survivors: bool = True) -> float:
+        """Death ratio of epoch ``epoch`` (the lower panels of Figs 7/9).
+
+        With ``exclude_survivors`` (default) blocks still resident at the
+        end of the trace are removed from the population, since they
+        neither died nor advanced.
+        """
+        if not 0 <= epoch < EPOCH_CAP:
+            raise IndexError(f"death ratio defined for epochs 0..{EPOCH_CAP - 1}")
+        population = self.entered[epoch]
+        if exclude_survivors:
+            population -= self.still_alive[epoch]
+        if population <= 0:
+            return 0.0
+        deaths = population - self.entered[epoch + 1]
+        return max(0.0, min(1.0, deaths / population))
+
+    def reuse_probability(self, epoch: int) -> float:
+        return 1.0 - self.death_ratio(epoch)
+
+    def hit_distribution(self) -> Tuple[float, ...]:
+        """Fraction of stream hits received in each epoch (Fig 7 upper)."""
+        total = sum(self.hits_from)
+        if total == 0:
+            return tuple(0.0 for _ in self.hits_from)
+        return tuple(h / total for h in self.hits_from)
+
+
+class EpochTracker(LLCObserver):
+    """LLC observer that measures epoch populations for one stream class.
+
+    For ``StreamClass.TEX`` a life additionally begins when a
+    render-target block is consumed by the samplers (the engine reports
+    the pre-consumption RT bit via ``was_rt``), mirroring the paper's
+    definition of a "texture block".
+    """
+
+    def __init__(self, sclass: StreamClass, num_slots: int) -> None:
+        self.sclass = int(sclass)
+        self._epoch_of: List[int] = [_UNTRACKED] * num_slots
+        self.entered = [0] * (EPOCH_CAP + 1)
+        self.hits_from = [0] * (EPOCH_CAP + 1)
+        self.conversions = 0
+        self.untracked_hits = 0
+        self._is_tex = self.sclass == int(StreamClass.TEX)
+
+    # -- LLCObserver hooks -------------------------------------------------
+
+    def on_fill(self, ctx: AccessContext, slot: int) -> None:
+        if ctx.sclass == self.sclass:
+            self._epoch_of[slot] = 0
+            self.entered[0] += 1
+        else:
+            self._epoch_of[slot] = _UNTRACKED
+
+    def on_hit(self, ctx: AccessContext, slot: int, was_rt: bool) -> None:
+        epoch = self._epoch_of[slot]
+        if ctx.sclass == self.sclass:
+            if self._is_tex and was_rt:
+                # Render-target consumption: a texture life begins at E0.
+                self._end_life(slot)
+                self._epoch_of[slot] = 0
+                self.entered[0] += 1
+                return
+            if epoch == _UNTRACKED:
+                self.untracked_hits += 1
+                return
+            self.hits_from[min(epoch, EPOCH_CAP)] += 1
+            if epoch < EPOCH_CAP:
+                self._epoch_of[slot] = epoch + 1
+                self.entered[epoch + 1] += 1
+            return
+        # A different stream touched the block: the tracked life ends.
+        if epoch != _UNTRACKED:
+            self.conversions += 1
+            self._epoch_of[slot] = _UNTRACKED
+
+    def on_evict(self, ctx: AccessContext, slot: int) -> None:
+        self._epoch_of[slot] = _UNTRACKED
+
+    # -- finalization --------------------------------------------------------
+
+    def _end_life(self, slot: int) -> None:
+        if self._epoch_of[slot] != _UNTRACKED:
+            self.conversions += 1
+            self._epoch_of[slot] = _UNTRACKED
+
+    def finalize(self) -> EpochStats:
+        still_alive = [0] * (EPOCH_CAP + 1)
+        for epoch in self._epoch_of:
+            if epoch != _UNTRACKED:
+                still_alive[epoch] += 1
+        return EpochStats(
+            entered=tuple(self.entered),
+            hits_from=tuple(self.hits_from),
+            still_alive=tuple(still_alive),
+            conversions=self.conversions,
+        )
+
+
+class MultiEpochTracker(LLCObserver):
+    """Fans LLC events out to several epoch trackers in one pass."""
+
+    def __init__(self, trackers: List[EpochTracker]) -> None:
+        self.trackers = trackers
+
+    def on_fill(self, ctx: AccessContext, slot: int) -> None:
+        for tracker in self.trackers:
+            tracker.on_fill(ctx, slot)
+
+    def on_hit(self, ctx: AccessContext, slot: int, was_rt: bool) -> None:
+        for tracker in self.trackers:
+            tracker.on_hit(ctx, slot, was_rt)
+
+    def on_evict(self, ctx: AccessContext, slot: int) -> None:
+        for tracker in self.trackers:
+            tracker.on_evict(ctx, slot)

@@ -1,0 +1,36 @@
+"""Next-use precomputation for Belady's optimal policy.
+
+For each access ``i`` we need the index of the next access to the same
+block, or "never".  A lexicographic sort by (block, index) places every
+block's accesses consecutively in time order, so each access's successor
+is simply the next entry when the block matches — fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import NEVER
+from repro.trace.record import Trace
+
+
+def next_use_indices(blocks: np.ndarray) -> np.ndarray:
+    """Next-use index for every position of a block-address array.
+
+    Returns an ``int64`` array where entry ``i`` is the smallest ``j > i``
+    with ``blocks[j] == blocks[i]``, or :data:`repro.core.base.NEVER`.
+    """
+    n = len(blocks)
+    result = np.full(n, NEVER, dtype=np.int64)
+    if n < 2:
+        return result
+    order = np.lexsort((np.arange(n), blocks))
+    sorted_blocks = blocks[order]
+    same_block = sorted_blocks[:-1] == sorted_blocks[1:]
+    result[order[:-1][same_block]] = order[1:][same_block]
+    return result
+
+
+def trace_next_use(trace: Trace, block_bytes: int = 64) -> np.ndarray:
+    """Next-use indices for a trace at a given block granularity."""
+    return next_use_indices(trace.block_addresses(block_bytes))

@@ -1,0 +1,92 @@
+"""Simulation results and cross-policy comparison helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Sequence
+
+from repro.cache.stats import LLCStats
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of replaying one trace under one policy."""
+
+    policy: str
+    stats: LLCStats
+    accesses: int
+    elapsed_seconds: float = 0.0
+    trace_meta: Mapping[str, object] = dataclasses.field(default_factory=dict)
+    #: Policy-specific extras (e.g. DRRIP fill-RRPV fractions, epoch data).
+    extras: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    @property
+    def workload_name(self) -> str:
+        return str(self.trace_meta.get("name", "unknown"))
+
+    def misses_normalized_to(self, baseline: "SimResult") -> float:
+        """This policy's miss count relative to a baseline run.
+
+        Values below 1.0 mean fewer misses than the baseline, matching
+        the normalization of Figures 1, 12 and 14.
+        """
+        if baseline.accesses != self.accesses:
+            raise SimulationError(
+                "cannot normalize across different traces: "
+                f"{self.accesses} vs {baseline.accesses} accesses"
+            )
+        if baseline.misses == 0:
+            return 1.0 if self.misses == 0 else float("inf")
+        return self.misses / baseline.misses
+
+
+def normalized_miss_table(
+    results: Mapping[str, SimResult], baseline: str
+) -> Dict[str, float]:
+    """Miss counts of every policy normalized to ``baseline``."""
+    if baseline not in results:
+        raise SimulationError(f"baseline policy {baseline!r} missing from results")
+    base = results[baseline]
+    return {
+        name: result.misses_normalized_to(base) for name, result in results.items()
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, conventionally used for normalized ratios."""
+    if not values:
+        raise SimulationError("geometric mean of an empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise SimulationError(f"geometric mean needs positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def average_normalized_misses(
+    per_frame: Sequence[Mapping[str, SimResult]],
+    policy: str,
+    baseline: str = "drrip",
+) -> float:
+    """Average (arithmetic, as in the paper's "average savings") of the
+    per-frame normalized miss counts of ``policy`` vs ``baseline``."""
+    ratios: List[float] = []
+    for frame_results in per_frame:
+        ratios.append(
+            frame_results[policy].misses_normalized_to(frame_results[baseline])
+        )
+    return sum(ratios) / len(ratios) if ratios else 1.0

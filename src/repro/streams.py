@@ -1,0 +1,90 @@
+"""Graphics data stream taxonomy.
+
+A 3D rendering pipeline touches several distinct data structures (Section
+2.1 of the paper): scene geometry, the hierarchical and regular depth
+buffers, the stencil buffer, render targets, texture maps, and the final
+displayable color surface.  Every access reaching the LLC is tagged with
+the :class:`Stream` of the render cache that missed.
+
+For *policy* purposes the paper collapses these into four classes
+(Section 3): Z, texture sampler, render target, and "the rest".  The
+displayable color surface is itself a render target, so the DISPLAY
+stream maps to the RT class — except under the UCD ("uncached displayable
+color") variants where it bypasses the LLC entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Stream(enum.IntEnum):
+    """Identity of the render cache that generated an LLC access."""
+
+    VERTEX = 0    #: vertex + vertex-index fetches (input assembler)
+    HIZ = 1       #: hierarchical-depth buffer accesses
+    Z = 2         #: per-pixel depth buffer accesses
+    STENCIL = 3   #: stencil buffer accesses
+    RT = 4        #: render-target color reads/writes (blending, fills)
+    TEXTURE = 5   #: texture sampler reads
+    DISPLAY = 6   #: displayable (front/back buffer) color writes
+    OTHER = 7     #: shader code, constants, miscellaneous state
+
+    @property
+    def short_name(self) -> str:
+        """Compact label used in tables and figures."""
+        return _SHORT_NAMES[self]
+
+
+_SHORT_NAMES = {
+    Stream.VERTEX: "VTX",
+    Stream.HIZ: "HiZ",
+    Stream.Z: "Z",
+    Stream.STENCIL: "STC",
+    Stream.RT: "RT",
+    Stream.TEXTURE: "TEX",
+    Stream.DISPLAY: "DISP",
+    Stream.OTHER: "OTH",
+}
+
+
+class StreamClass(enum.IntEnum):
+    """The four stream classes used by the stream-aware policies."""
+
+    Z = 0
+    TEX = 1
+    RT = 2
+    OTHER = 3
+
+    @property
+    def short_name(self) -> str:
+        return self.name
+
+
+#: Mapping from raw stream to the policy-level stream class (Section 3:
+#: "We partition the LLC accesses into four streams, namely, Z, texture
+#: sampler, render targets, and the rest").  DISPLAY maps to RT because
+#: "displayable color is a render target" (Section 5.1).
+STREAM_CLASS_OF = {
+    Stream.VERTEX: StreamClass.OTHER,
+    Stream.HIZ: StreamClass.OTHER,
+    Stream.Z: StreamClass.Z,
+    Stream.STENCIL: StreamClass.OTHER,
+    Stream.RT: StreamClass.RT,
+    Stream.TEXTURE: StreamClass.TEX,
+    Stream.DISPLAY: StreamClass.RT,
+    Stream.OTHER: StreamClass.OTHER,
+}
+
+#: Dense lookup table indexed by ``int(stream)`` for hot loops.
+STREAM_CLASS_TABLE = tuple(
+    int(STREAM_CLASS_OF[Stream(i)]) for i in range(len(Stream))
+)
+
+ALL_STREAMS = tuple(Stream)
+ALL_STREAM_CLASSES = tuple(StreamClass)
+
+
+def stream_class(stream: Stream) -> StreamClass:
+    """Return the policy stream class for a raw stream."""
+    return StreamClass(STREAM_CLASS_TABLE[int(stream)])

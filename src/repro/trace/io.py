@@ -1,0 +1,57 @@
+"""Trace persistence.
+
+Traces are stored as compressed ``.npz`` archives holding the three packed
+arrays plus a JSON metadata blob.  The format is versioned so that stale
+cache files from older library versions are rejected instead of silently
+misread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import Trace
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` (creating parent directories)."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        addresses=trace.addresses,
+        streams=trace.streams,
+        writes=trace.writes,
+        meta=np.frombuffer(
+            json.dumps(trace.meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    try:
+        with np.load(path) as archive:
+            version = int(archive["version"])
+            if version != FORMAT_VERSION:
+                raise TraceError(
+                    f"trace format version {version} unsupported "
+                    f"(expected {FORMAT_VERSION}): {path}"
+                )
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+            return Trace(
+                archive["addresses"], archive["streams"], archive["writes"], meta
+            )
+    except (OSError, KeyError, ValueError) as exc:
+        raise TraceError(f"cannot load trace from {path}: {exc}") from exc

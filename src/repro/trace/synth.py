@@ -1,0 +1,144 @@
+"""Small synthetic traces for unit tests and micro-benchmarks.
+
+These are *not* the graphics workloads (see :mod:`repro.workloads`); they
+are minimal, fully-controlled access patterns used to exercise policies
+and the simulator in isolation: cyclic scans, scan+reuse mixes, and a
+miniature producer/consumer pattern mimicking render-to-texture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.streams import Stream
+from repro.trace.record import Trace, TraceBuilder
+
+
+def cyclic_scan(
+    num_blocks: int,
+    repetitions: int,
+    stream: Stream = Stream.OTHER,
+    block_bytes: int = 64,
+    base_address: int = 0,
+) -> Trace:
+    """Repeatedly sweep ``num_blocks`` sequential blocks.
+
+    A scan longer than the cache thrashes LRU-like policies while
+    scan-resistant policies (SRRIP/DRRIP) retain part of it — the classic
+    discriminator test.
+    """
+    builder = TraceBuilder({"name": f"cyclic_scan({num_blocks}x{repetitions})"})
+    addresses = base_address + np.arange(num_blocks, dtype=np.uint64) * np.uint64(
+        block_bytes
+    )
+    for _ in range(repetitions):
+        builder.extend(addresses, stream)
+    return builder.build()
+
+
+def scan_with_working_set(
+    working_blocks: int,
+    scan_blocks: int,
+    rounds: int,
+    working_stream: Stream = Stream.Z,
+    scan_stream: Stream = Stream.TEXTURE,
+    block_bytes: int = 64,
+) -> Trace:
+    """Alternate a small reused working set with a long single-use scan.
+
+    Each round touches the working set once, then a fresh region of the
+    scan.  A good policy keeps the working set resident; the scan blocks
+    are dead on arrival.
+    """
+    builder = TraceBuilder(
+        {"name": f"scan_with_working_set({working_blocks},{scan_blocks})"}
+    )
+    working = np.arange(working_blocks, dtype=np.uint64) * np.uint64(block_bytes)
+    scan_base = np.uint64((working_blocks + 1024) * block_bytes)
+    for round_index in range(rounds):
+        builder.extend(working, working_stream)
+        offset = scan_base + np.uint64(round_index * scan_blocks * block_bytes)
+        scan = offset + np.arange(scan_blocks, dtype=np.uint64) * np.uint64(
+            block_bytes
+        )
+        builder.extend(scan, scan_stream)
+    return builder.build()
+
+
+def producer_consumer(
+    num_blocks: int,
+    rounds: int,
+    consume_fraction: float = 1.0,
+    gap_blocks: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    block_bytes: int = 64,
+) -> Trace:
+    """Miniature render-to-texture pattern.
+
+    Each round *produces* ``num_blocks`` render-target blocks (writes),
+    optionally touches ``gap_blocks`` of unrelated data, then *consumes* a
+    fraction of the produced blocks through the texture stream — the
+    inter-stream reuse at the heart of the paper.
+    """
+    rng = rng or np.random.default_rng(0)
+    builder = TraceBuilder({"name": f"producer_consumer({num_blocks}x{rounds})"})
+    produced = np.arange(num_blocks, dtype=np.uint64) * np.uint64(block_bytes)
+    gap_base = np.uint64((num_blocks + 4096) * block_bytes)
+    for round_index in range(rounds):
+        builder.extend(produced, Stream.RT, is_write=True)
+        if gap_blocks:
+            offset = gap_base + np.uint64(round_index * gap_blocks * block_bytes)
+            gap = offset + np.arange(gap_blocks, dtype=np.uint64) * np.uint64(
+                block_bytes
+            )
+            builder.extend(gap, Stream.OTHER)
+        count = int(round(consume_fraction * num_blocks))
+        if count:
+            chosen = rng.choice(num_blocks, size=count, replace=False)
+            chosen.sort()
+            builder.extend(produced[chosen], Stream.TEXTURE)
+    return builder.build()
+
+
+def interleaved_streams(
+    per_stream_blocks: int,
+    rounds: int,
+    streams: Sequence[Stream] = (Stream.Z, Stream.RT, Stream.TEXTURE),
+    block_bytes: int = 64,
+) -> Trace:
+    """Round-robin over disjoint regions, one region per stream."""
+    builder = TraceBuilder({"name": "interleaved_streams"})
+    region_stride = np.uint64((per_stream_blocks + 4096) * block_bytes)
+    bases = {
+        stream: np.uint64(index) * region_stride
+        for index, stream in enumerate(streams)
+    }
+    offsets = np.arange(per_stream_blocks, dtype=np.uint64) * np.uint64(block_bytes)
+    for _ in range(rounds):
+        for stream in streams:
+            builder.extend(bases[stream] + offsets, stream)
+    return builder.build()
+
+
+def random_trace(
+    length: int,
+    footprint_blocks: int,
+    seed: int = 0,
+    write_fraction: float = 0.3,
+    block_bytes: int = 64,
+) -> Trace:
+    """Uniform random accesses — the adversarial baseline for properties.
+
+    Used by hypothesis-style tests: on any trace, Belady's OPT must not
+    miss more than any online policy.
+    """
+    rng = np.random.default_rng(seed)
+    addresses = (
+        rng.integers(0, footprint_blocks, size=length, dtype=np.uint64)
+        * np.uint64(block_bytes)
+    )
+    streams = rng.integers(0, len(Stream), size=length, dtype=np.uint8)
+    writes = rng.random(length) < write_fraction
+    return Trace(addresses, streams, writes, {"name": f"random(seed={seed})"})

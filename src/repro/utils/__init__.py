@@ -1,0 +1,6 @@
+"""Small shared utilities: saturating counters and bit manipulation."""
+
+from repro.utils.counters import SaturatingCounter
+from repro.utils.bitops import is_power_of_two, ilog2, mix_bits
+
+__all__ = ["SaturatingCounter", "is_power_of_two", "ilog2", "mix_bits"]

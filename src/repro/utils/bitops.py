@@ -1,0 +1,33 @@
+"""Bit-manipulation helpers used by cache indexing and sampling logic."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for positive integer powers of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log2; raises :class:`ConfigError` otherwise.
+
+    Cache geometry (sets, ways, banks, block size) must be a power of two
+    so that address decomposition is pure bit slicing, as in hardware.
+    """
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def mix_bits(value: int) -> int:
+    """Cheap deterministic 64-bit integer hash (splitmix64 finalizer).
+
+    Used to hash region identifiers (SHiP-mem) and to derive per-set
+    pseudo-random decisions without any global RNG state.
+    """
+    value &= 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)

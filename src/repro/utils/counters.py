@@ -1,0 +1,66 @@
+"""Saturating counters.
+
+Section 3 of the paper uses per-bank 8-bit saturating FILL/HIT/PROD/CONS
+counters and a 7-bit ACC(ALL) counter whose saturation triggers halving of
+the others.  :class:`SaturatingCounter` models one such hardware counter.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class SaturatingCounter:
+    """An unsigned saturating counter with a fixed bit width.
+
+    The counter increments up to ``2**bits - 1`` and decrements down to
+    zero; both operations saturate instead of wrapping.  ``halve()``
+    implements the aging used by the paper when ACC(ALL) saturates.
+    """
+
+    __slots__ = ("bits", "max_value", "value")
+
+    def __init__(self, bits: int, value: int = 0) -> None:
+        if bits < 1:
+            raise ConfigError(f"counter width must be >= 1 bit, got {bits}")
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        if not 0 <= value <= self.max_value:
+            raise ConfigError(
+                f"initial value {value} out of range for {bits}-bit counter"
+            )
+        self.value = value
+
+    def increment(self, amount: int = 1) -> bool:
+        """Add ``amount``, saturating at the maximum.
+
+        Returns True if the counter is saturated after the increment —
+        callers use this to trigger the halve-and-reset aging step.
+        """
+        self.value = min(self.value + amount, self.max_value)
+        return self.value == self.max_value
+
+    def decrement(self, amount: int = 1) -> bool:
+        """Subtract ``amount``, saturating at zero.
+
+        Returns True if the counter is zero after the decrement.
+        """
+        self.value = max(self.value - amount, 0)
+        return self.value == 0
+
+    def halve(self) -> None:
+        """Age the counter by halving (floor division) its value."""
+        self.value >>= 1
+
+    def reset(self) -> None:
+        self.value = 0
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.value == self.max_value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"

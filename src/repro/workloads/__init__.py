@@ -1,0 +1,41 @@
+"""Synthetic DirectX-style 3D rendering workloads.
+
+The paper replays DirectX call traces captured from commercial games.
+Those traces are proprietary, so this package synthesizes frames with
+the same memory-system structure: multi-pass rendering into tiled
+surfaces, hierarchical/early depth testing, render-target blending,
+MIP-mapped texture sampling with hot/cold popularity, render-to-texture
+(dynamic texturing) chains, and a final display resolve — filtered
+through the GPU's small render caches so the LLC sees only their misses
+(see DESIGN.md for the substitution argument).
+"""
+
+from repro.workloads.apps import (
+    ALL_APPS,
+    AppProfile,
+    FrameSpec,
+    all_frames,
+    app_by_name,
+    frames_for_app,
+)
+from repro.workloads.commands import CommandList
+from repro.workloads.framegen import generate_frame_trace
+from repro.workloads.replay import capture_frame_commands, replay_command_list
+from repro.workloads.sequence import generate_sequence_trace
+from repro.workloads.surfaces import AddressSpace, Surface
+
+__all__ = [
+    "ALL_APPS",
+    "AppProfile",
+    "FrameSpec",
+    "all_frames",
+    "app_by_name",
+    "frames_for_app",
+    "generate_frame_trace",
+    "generate_sequence_trace",
+    "capture_frame_commands",
+    "replay_command_list",
+    "CommandList",
+    "AddressSpace",
+    "Surface",
+]

@@ -1,0 +1,329 @@
+"""The twelve DirectX applications of Table 1 as synthetic profiles.
+
+Each :class:`AppProfile` parameterizes the frame generator so that the
+application's memory behaviour matches its public rendering
+characteristics: resolution and DirectX version come straight from
+Table 1; pass structure, overdraw, blending, texture footprint and
+render-to-texture intensity are chosen per title (e.g. Assassin's Creed
+has the heaviest dynamic-texture consumption in the paper's Figure 6;
+the 3DMark and Unigine benchmarks are post-processing heavy; HAWX and
+Heaven are geometry/tessellation heavy).  52 frames total are defined,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclasses.dataclass(frozen=True)
+class AppProfile:
+    """Synthetic workload parameters for one application (at paper scale)."""
+
+    name: str
+    abbrev: str
+    dx_version: int
+    width_px: int
+    height_px: int
+    num_frames: int
+    seed: int
+    # Pass structure
+    main_passes: int = 4
+    draws_per_pass: int = 14
+    overdraw: float = 2.5
+    post_passes: int = 3
+    aux_targets: int = 1
+    shadow_maps: int = 1
+    shadow_map_px: int = 512
+    shadow_draws: int = 5
+    # Depth/stencil behaviour
+    early_z_reject: float = 0.35
+    stencil_fraction: float = 0.1
+    # Color behaviour
+    blend_fraction: float = 0.3
+    # Texturing
+    texture_count: int = 5
+    texture_px: int = 1536
+    samples_per_tile: float = 2.0
+    hot_probability: float = 0.45
+    hot_fraction: float = 0.1
+    #: Fraction of geometry draws bound to "hot" materials (lightmaps,
+    #: atlases, UI) whose texels recur across draws and passes; the rest
+    #: cold-sweep fresh texels.  This burstiness is what lets sampled
+    #: probabilistic policies learn phase-dependent texture deadness.
+    hot_draw_fraction: float = 0.08
+    shadow_sample_probability: float = 0.5
+    #: Small dynamic textures (impostors, particle buffers, water
+    #: refraction copies) rendered and consumed *throughout* the main
+    #: passes; they keep render-to-texture reuse flowing all frame long.
+    dyntex_count: int = 4
+    dyntex_px: int = 512
+    dyntex_probability: float = 0.9
+    post_samples_per_tile: float = 1.2
+    # Geometry
+    vertex_buffer_blocks: int = 90000
+
+    def __post_init__(self) -> None:
+        if self.num_frames <= 0:
+            raise WorkloadError(f"{self.name}: needs at least one frame")
+        if not 0.0 <= self.early_z_reject < 1.0:
+            raise WorkloadError(f"{self.name}: bad early-Z reject rate")
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameSpec:
+    """One of the 52 evaluated frames."""
+
+    app: AppProfile
+    frame_index: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.app.abbrev}#f{self.frame_index}"
+
+
+ALL_APPS: Tuple[AppProfile, ...] = (
+    AppProfile(
+        name="3D Mark Vantage GT1",
+        abbrev="3DMarkVAGT1",
+        dx_version=10,
+        width_px=1920,
+        height_px=1200,
+        num_frames=4,
+        seed=101,
+        main_passes=4,
+        post_passes=5,
+        overdraw=2.2,
+        texture_count=5,
+        samples_per_tile=4.2,
+        blend_fraction=0.35,
+        post_samples_per_tile=1.4,
+    ),
+    AppProfile(
+        name="3D Mark Vantage GT2",
+        abbrev="3DMarkVAGT2",
+        dx_version=10,
+        width_px=1920,
+        height_px=1200,
+        num_frames=4,
+        seed=102,
+        main_passes=4,
+        post_passes=6,
+        overdraw=2.4,
+        texture_count=6,
+        samples_per_tile=4.4,
+        shadow_maps=2,
+        post_samples_per_tile=1.3,
+    ),
+    AppProfile(
+        name="Assassin's Creed",
+        abbrev="AssnCreed",
+        dx_version=10,
+        width_px=1680,
+        height_px=1050,
+        num_frames=5,
+        seed=103,
+        main_passes=4,
+        post_passes=6,
+        overdraw=1.8,          # low overdraw: most produced RT blocks survive
+        aux_targets=0,         # virtually everything rendered gets consumed
+        shadow_maps=2,
+        shadow_sample_probability=0.8,
+        texture_count=4,
+        samples_per_tile=3.8,
+        hot_probability=0.55,
+        post_samples_per_tile=1.5,
+        blend_fraction=0.25,
+    ),
+    AppProfile(
+        name="BioShock",
+        abbrev="BioShock",
+        dx_version=10,
+        width_px=1920,
+        height_px=1200,
+        num_frames=4,
+        seed=104,
+        main_passes=4,
+        post_passes=2,
+        overdraw=2.8,
+        aux_targets=1,
+        texture_count=6,
+        samples_per_tile=4.0,
+        blend_fraction=0.4,    # water/glass effects blend heavily
+        stencil_fraction=0.2,
+    ),
+    AppProfile(
+        name="Devil May Cry 4",
+        abbrev="DMC",
+        dx_version=10,
+        width_px=1680,
+        height_px=1050,
+        num_frames=5,
+        seed=105,
+        main_passes=4,
+        post_passes=3,
+        overdraw=3.0,
+        aux_targets=1,
+        texture_count=5,
+        samples_per_tile=4.2,
+        hot_probability=0.35,  # fast scene churn: colder textures
+        blend_fraction=0.35,
+    ),
+    AppProfile(
+        name="Civilization V",
+        abbrev="Civilization",
+        dx_version=11,
+        width_px=1920,
+        height_px=1200,
+        num_frames=4,
+        seed=106,
+        main_passes=4,
+        draws_per_pass=22,     # many small terrain/unit draws
+        overdraw=2.0,
+        post_passes=2,
+        texture_count=8,       # large terrain texture set
+        texture_px=1536,
+        samples_per_tile=4.4,
+        hot_probability=0.5,
+        hot_fraction=0.15,
+        vertex_buffer_blocks=264000,
+    ),
+    AppProfile(
+        name="Dirt 2",
+        abbrev="Dirt",
+        dx_version=11,
+        width_px=1680,
+        height_px=1050,
+        num_frames=4,
+        seed=107,
+        main_passes=4,
+        post_passes=4,         # motion blur / color grading chain
+        overdraw=2.6,
+        aux_targets=2,         # reflection/environment targets
+        texture_count=5,
+        samples_per_tile=4.0,
+        blend_fraction=0.3,
+        post_samples_per_tile=1.6,
+    ),
+    AppProfile(
+        name="HAWX 2",
+        abbrev="HAWX",
+        dx_version=11,
+        width_px=1920,
+        height_px=1200,
+        num_frames=4,
+        seed=108,
+        main_passes=4,
+        draws_per_pass=16,
+        overdraw=1.8,          # open sky: little overdraw
+        post_passes=2,
+        aux_targets=1,
+        texture_count=6,
+        texture_px=1536,       # terrain streaming
+        samples_per_tile=4.6,
+        hot_probability=0.3,   # streaming terrain: cold-dominated
+        vertex_buffer_blocks=360000,  # tessellated terrain geometry
+    ),
+    AppProfile(
+        name="Unigine Heaven 2.1",
+        abbrev="Heaven",
+        dx_version=11,
+        width_px=2560,
+        height_px=1600,
+        num_frames=5,
+        seed=109,
+        main_passes=4,
+        draws_per_pass=18,
+        overdraw=2.4,
+        post_passes=3,
+        texture_count=6,
+        samples_per_tile=4.0,
+        vertex_buffer_blocks=408000,  # heavy tessellation
+        stencil_fraction=0.15,
+    ),
+    AppProfile(
+        name="Lost Planet 2",
+        abbrev="LostPlanet",
+        dx_version=11,
+        width_px=1920,
+        height_px=1200,
+        num_frames=5,
+        seed=110,
+        main_passes=4,
+        post_passes=3,
+        overdraw=2.8,
+        aux_targets=1,
+        shadow_maps=2,
+        texture_count=5,
+        samples_per_tile=4.2,
+        hot_probability=0.4,
+        blend_fraction=0.35,
+    ),
+    AppProfile(
+        name="Stalker COP",
+        abbrev="StalkerCOP",
+        dx_version=11,
+        width_px=1680,
+        height_px=1050,
+        num_frames=4,
+        seed=111,
+        main_passes=5,         # deferred renderer: fat G-buffer passes
+        post_passes=4,         # deferred lighting + post as RT->TEX chain
+        overdraw=2.2,
+        aux_targets=1,
+        shadow_maps=2,
+        shadow_sample_probability=0.7,
+        texture_count=5,
+        samples_per_tile=4.0,
+        post_samples_per_tile=1.4,
+    ),
+    AppProfile(
+        name="Unigine 3D engine",
+        abbrev="Unigine",
+        dx_version=11,
+        width_px=1920,
+        height_px=1200,
+        num_frames=4,
+        seed=112,
+        main_passes=4,
+        post_passes=4,
+        overdraw=2.3,
+        texture_count=6,
+        samples_per_tile=4.1,
+        vertex_buffer_blocks=288000,
+        post_samples_per_tile=1.3,
+    ),
+)
+
+_APPS_BY_NAME: Dict[str, AppProfile] = {}
+for _app in ALL_APPS:
+    _APPS_BY_NAME[_app.name.lower()] = _app
+    _APPS_BY_NAME[_app.abbrev.lower()] = _app
+
+
+def app_by_name(name: str) -> AppProfile:
+    """Look an application up by full name or abbreviation."""
+    key = name.strip().lower()
+    if key not in _APPS_BY_NAME:
+        known = ", ".join(app.abbrev for app in ALL_APPS)
+        raise WorkloadError(f"unknown application {name!r}; known: {known}")
+    return _APPS_BY_NAME[key]
+
+
+def frames_for_app(app: AppProfile) -> List[FrameSpec]:
+    return [FrameSpec(app, index) for index in range(app.num_frames)]
+
+
+def all_frames() -> List[FrameSpec]:
+    """The 52 evaluated frames (Section 4)."""
+    frames: List[FrameSpec] = []
+    for app in ALL_APPS:
+        frames.extend(frames_for_app(app))
+    return frames
+
+
+TOTAL_FRAMES = sum(app.num_frames for app in ALL_APPS)
+assert TOTAL_FRAMES == 52, f"expected 52 frames, profiles define {TOTAL_FRAMES}"

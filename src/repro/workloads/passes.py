@@ -1,0 +1,122 @@
+"""Render-pass and draw-call descriptions.
+
+A synthetic frame is a sequence of :class:`RenderPass` objects — shadow
+passes, main geometry passes, post-processing passes, and a final pass
+that resolves into the displayable surface — each containing
+:class:`DrawCall` objects with their texture bindings.  These are plain
+descriptions; :mod:`repro.workloads.raster` turns them into memory
+accesses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple, Union
+
+from repro.workloads.surfaces import MipmappedTexture, Surface
+
+
+@dataclasses.dataclass(frozen=True)
+class TextureBinding:
+    """One texture sampled by a draw call.
+
+    ``source`` is either a static MIP-mapped texture or a previously
+    rendered surface (dynamic texturing / render-to-texture — the
+    paper's primary inter-stream reuse).
+    """
+
+    source: Union[MipmappedTexture, Surface]
+    #: Average texel-block reads per covered tile.
+    samples_per_tile: float = 1.0
+    #: MIP level bias for static textures (ignored for dynamic sources).
+    lod: int = 0
+    #: Identity screen-space mapping (post-processing reads); otherwise
+    #: an affine UV mapping with hot/cold popularity is used.
+    screen_mapped: bool = False
+    #: Read the *entire* source surface once (shadow-map lookups span
+    #: the light frustum; impostors/probes are consumed whole).  Only
+    #: meaningful for dynamic sources; samples_per_tile is ignored.
+    full_read: bool = False
+    #: Probability that a static sample lands in the texture's hot set.
+    hot_probability: float = 0.5
+    #: Fraction of the MIP level forming the hot set.
+    hot_fraction: float = 0.15
+
+    @property
+    def is_dynamic(self) -> bool:
+        return isinstance(self.source, Surface)
+
+
+@dataclasses.dataclass(frozen=True)
+class DrawCall:
+    """A batch of geometry covering a region of the render target."""
+
+    #: Covered rectangle in *tile* coordinates of the color target:
+    #: (x0, y0, x1, y1), half-open.
+    region: Tuple[int, int, int, int]
+    #: Fraction of the rectangle's tiles actually covered by geometry.
+    coverage: float = 1.0
+    textures: Tuple[TextureBinding, ...] = ()
+    #: Read-modify-write blending into the color target.
+    blend: bool = False
+    depth_test: bool = True
+    depth_write: bool = True
+    stencil_test: bool = False
+    #: Vertex-buffer blocks fetched by the input assembler.
+    vertex_blocks: int = 0
+    #: Phase shifts for UV/vertex progression (varies per frame/draw).
+    uv_phase: int = 0
+    vertex_phase: int = 0
+
+    def tile_count(self) -> int:
+        x0, y0, x1, y1 = self.region
+        return max(0, x1 - x0) * max(0, y1 - y0)
+
+
+@dataclasses.dataclass(frozen=True)
+class RenderPass:
+    """One pass through the rendering pipeline."""
+
+    name: str
+    color_target: Surface
+    depth_target: Optional[Surface] = None
+    hiz_target: Optional[Surface] = None
+    stencil_target: Optional[Surface] = None
+    draws: Tuple[DrawCall, ...] = ()
+    #: Fraction of depth-tested tiles discarded by the early/HiZ test.
+    early_z_reject: float = 0.0
+    #: Fraction of depth tests that pass and write a new depth value.
+    depth_pass_rate: float = 0.6
+    #: Resolve the color target into this displayable surface at the end
+    #: of the pass (the final pass of the frame).
+    resolve_to: Optional[Surface] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """A complete frame: passes plus the resources they render into."""
+
+    name: str
+    width_px: int
+    height_px: int
+    passes: Tuple[RenderPass, ...] = ()
+
+    @property
+    def num_draws(self) -> int:
+        return sum(len(p.draws) for p in self.passes)
+
+
+def full_screen_region(surface: Surface) -> Tuple[int, int, int, int]:
+    return (0, 0, surface.tiles_x, surface.tiles_y)
+
+
+def clip_region(
+    region: Tuple[int, int, int, int], surface: Surface
+) -> Tuple[int, int, int, int]:
+    x0, y0, x1, y1 = region
+    return (
+        max(0, min(x0, surface.tiles_x)),
+        max(0, min(y0, surface.tiles_y)),
+        max(0, min(x1, surface.tiles_x)),
+        max(0, min(y1, surface.tiles_y)),
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures: small cache configurations and traces that keep the
+test suite fast while still exercising every code path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.config import KB, CacheParams, LLCConfig
+from repro.streams import Stream
+from repro.trace.record import Trace, TraceBuilder
+
+
+@pytest.fixture
+def tiny_llc_config() -> LLCConfig:
+    """A 16 KB, 4-way LLC (64 sets) with frequent sample sets."""
+    return LLCConfig(
+        params=CacheParams(16 * KB, ways=4), banks=2, sample_period=8
+    )
+
+
+@pytest.fixture
+def tiny_geometry(tiny_llc_config) -> CacheGeometry:
+    return CacheGeometry.from_config(tiny_llc_config)
+
+
+@pytest.fixture
+def small_llc_config() -> LLCConfig:
+    """A 64 KB, 8-way LLC, closer to experiment scale."""
+    return LLCConfig(
+        params=CacheParams(64 * KB, ways=8), banks=2, sample_period=16
+    )
+
+
+from helpers import make_trace  # noqa: E402  (re-exported for fixtures)
+
+
+@pytest.fixture
+def sequential_trace() -> Trace:
+    """256 distinct blocks, one stream, no reuse."""
+    return make_trace((i, Stream.OTHER) for i in range(256))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,15 @@
+"""Shared helpers for the test suite (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.trace.record import Trace, TraceBuilder
+
+
+def make_trace(entries) -> Trace:
+    """Build a trace from (block_index, stream[, is_write]) tuples."""
+    builder = TraceBuilder({"name": "test"})
+    for entry in entries:
+        block, stream = entry[0], entry[1]
+        write = entry[2] if len(entry) > 2 else False
+        builder.append(block * 64, stream, write)
+    return builder.build()

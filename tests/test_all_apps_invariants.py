@@ -1,0 +1,72 @@
+"""Per-application workload invariants (all twelve Table-1 profiles).
+
+Cheap structural checks at 1/16 scale: every application must produce a
+well-formed frame whose trace carries the paper's qualitative features.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streams import Stream
+from repro.trace.stats import compute_trace_stats
+from repro.workloads.apps import ALL_APPS
+from repro.workloads.framegen import generate_frame_trace
+
+SCALE = 0.0625
+
+_CACHE = {}
+
+
+def _trace(app):
+    if app.abbrev not in _CACHE:
+        _CACHE[app.abbrev] = generate_frame_trace(app, 0, scale=SCALE)
+    return _CACHE[app.abbrev]
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.abbrev)
+def test_frame_generates(app):
+    trace = _trace(app)
+    assert len(trace) > 5000
+    assert trace.meta["abbrev"] == app.abbrev
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.abbrev)
+def test_rt_and_tex_dominate(app):
+    stats = compute_trace_stats(_trace(app))
+    rt = stats.stream_fraction(Stream.RT)
+    tex = stats.stream_fraction(Stream.TEXTURE)
+    assert rt + tex > 0.45, f"{app.abbrev}: RT+TEX only {rt + tex:.2f}"
+    assert rt > 0.15 and tex > 0.15
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.abbrev)
+def test_z_is_third_stream(app):
+    stats = compute_trace_stats(_trace(app))
+    z = stats.stream_fraction(Stream.Z)
+    assert 0.03 < z < 0.35
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.abbrev)
+def test_display_written_once_per_frame(app):
+    trace = _trace(app)
+    mask = trace.stream_mask(Stream.DISPLAY)
+    addresses = trace.addresses[mask]
+    assert len(addresses) > 0
+    assert len(np.unique(addresses)) == len(addresses)
+    assert trace.writes[mask].all()
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.abbrev)
+def test_render_to_texture_present(app):
+    trace = _trace(app)
+    blocks = trace.block_addresses()
+    rt = set(blocks[trace.stream_mask(Stream.RT)].tolist())
+    tex = set(blocks[trace.stream_mask(Stream.TEXTURE)].tolist())
+    assert len(rt & tex) > 50, f"{app.abbrev}: no render-to-texture reuse"
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.abbrev)
+def test_writes_present_but_minority(app):
+    trace = _trace(app)
+    write_fraction = trace.writes.mean()
+    assert 0.02 < write_fraction < 0.5

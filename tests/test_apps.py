@@ -1,0 +1,86 @@
+"""Application-profile (Table 1) tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.apps import (
+    ALL_APPS,
+    FrameSpec,
+    all_frames,
+    app_by_name,
+    frames_for_app,
+)
+
+
+def test_twelve_applications():
+    assert len(ALL_APPS) == 12
+
+
+def test_fifty_two_frames_total():
+    assert len(all_frames()) == 52
+
+
+def test_table1_resolutions():
+    expected = {
+        "3DMarkVAGT1": (1920, 1200, 10),
+        "3DMarkVAGT2": (1920, 1200, 10),
+        "AssnCreed": (1680, 1050, 10),
+        "BioShock": (1920, 1200, 10),
+        "DMC": (1680, 1050, 10),
+        "Civilization": (1920, 1200, 11),
+        "Dirt": (1680, 1050, 11),
+        "HAWX": (1920, 1200, 11),
+        "Heaven": (2560, 1600, 11),
+        "LostPlanet": (1920, 1200, 11),
+        "StalkerCOP": (1680, 1050, 11),
+        "Unigine": (1920, 1200, 11),
+    }
+    for app in ALL_APPS:
+        width, height, dx = expected[app.abbrev]
+        assert (app.width_px, app.height_px, app.dx_version) == (
+            width,
+            height,
+            dx,
+        ), app.abbrev
+
+
+def test_eight_games_four_benchmarks():
+    benchmarks = {"3DMarkVAGT1", "3DMarkVAGT2", "Heaven", "Unigine"}
+    games = {app.abbrev for app in ALL_APPS} - benchmarks
+    assert len(games) == 8
+
+
+def test_lookup_by_name_and_abbrev():
+    assert app_by_name("BioShock") is app_by_name("bioshock")
+    assert app_by_name("Assassin's Creed").abbrev == "AssnCreed"
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(WorkloadError):
+        app_by_name("Crysis")
+
+
+def test_frames_for_app():
+    app = app_by_name("Heaven")
+    frames = frames_for_app(app)
+    assert len(frames) == app.num_frames
+    assert frames[0] == FrameSpec(app, 0)
+    assert frames[0].name == "Heaven#f0"
+
+
+def test_seeds_unique():
+    seeds = [app.seed for app in ALL_APPS]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_profile_validation():
+    with pytest.raises(WorkloadError):
+        ALL_APPS[0].__class__(
+            name="x", abbrev="x", dx_version=10, width_px=64, height_px=64,
+            num_frames=0, seed=1,
+        )
+    with pytest.raises(WorkloadError):
+        ALL_APPS[0].__class__(
+            name="x", abbrev="x", dx_version=10, width_px=64, height_px=64,
+            num_frames=1, seed=1, early_z_reject=1.5,
+        )

@@ -1,0 +1,33 @@
+"""Bit-manipulation helper tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.bitops import ilog2, is_power_of_two, mix_bits
+
+
+@pytest.mark.parametrize("value", [1, 2, 4, 64, 1 << 20])
+def test_powers_of_two(value):
+    assert is_power_of_two(value)
+    assert 1 << ilog2(value) == value
+
+
+@pytest.mark.parametrize("value", [0, -4, 3, 6, 100])
+def test_non_powers_of_two(value):
+    assert not is_power_of_two(value)
+    with pytest.raises(ConfigError):
+        ilog2(value)
+
+
+def test_mix_bits_deterministic():
+    assert mix_bits(12345) == mix_bits(12345)
+
+
+def test_mix_bits_spreads_nearby_inputs():
+    hashes = {mix_bits(i) & 0xFFFF for i in range(256)}
+    # 256 consecutive inputs should land in many distinct low-16 buckets.
+    assert len(hashes) > 200
+
+
+def test_mix_bits_stays_in_64_bits():
+    assert mix_bits((1 << 64) - 1) < (1 << 64)

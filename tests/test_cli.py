@@ -1,0 +1,77 @@
+"""gspc-sim CLI tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.streams import Stream
+from repro.trace.io import save_trace
+from repro.trace.record import TraceBuilder
+
+
+@pytest.fixture
+def tiny_trace_path(tmp_path):
+    builder = TraceBuilder({"name": "cli-test", "scale": 0.125})
+    rng = np.random.default_rng(0)
+    for _ in range(3000):
+        builder.append(int(rng.integers(0, 4096)) * 64, Stream(int(rng.integers(0, 8))))
+    path = tmp_path / "trace.npz"
+    save_trace(builder.build(), path)
+    return str(path)
+
+
+def test_list_policies(capsys):
+    assert main(["--list-policies"]) == 0
+    out = capsys.readouterr().out
+    assert "gspc" in out and "drrip" in out
+
+
+def test_simulate_saved_trace(tiny_trace_path, capsys):
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "drrip", "lru"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Offline simulation" in out
+    assert "DRRIP" in out and "LRU" in out
+
+
+def test_timing_flag(tiny_trace_path, capsys):
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "lru", "--timing"]
+    ) == 0
+    assert "Frame timing" in capsys.readouterr().out
+
+
+def test_app_synthesis(capsys):
+    assert main(
+        ["--app", "AssnCreed", "--scale", "0.0625", "--policies", "lru"]
+    ) == 0
+    assert "AssnCreed#f0" in capsys.readouterr().out
+
+
+def test_save_trace(tmp_path, capsys):
+    out_path = tmp_path / "saved.npz"
+    assert main(
+        ["--app", "DMC", "--scale", "0.0625", "--save-trace", str(out_path)]
+    ) == 0
+    assert out_path.exists()
+
+
+def test_unknown_policy_errors(tiny_trace_path, capsys):
+    assert main(["--trace", tiny_trace_path, "--policies", "nonsense"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_trace_errors(capsys):
+    assert main(["--trace", "/nonexistent/file.npz"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_app_errors(capsys):
+    assert main(["--app", "Quake"]) == 1
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.policies == ["drrip", "gspc+ucd"]
+    assert args.llc_mb == 8

@@ -1,0 +1,146 @@
+"""Command-stream capture/serialize/replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import RenderCachesConfig
+from repro.errors import WorkloadError
+from repro.streams import Stream
+from repro.trace.stats import compute_trace_stats
+from repro.workloads.apps import ALL_APPS
+from repro.workloads.commands import (
+    BindTexture,
+    CommandList,
+    Draw,
+    Present,
+    SetPipelineState,
+    SetTargets,
+    capture_commands,
+    passes_from_commands,
+)
+from repro.workloads.framegen import build_frame_passes, build_resources
+from repro.workloads.replay import capture_frame_commands, replay_command_list
+
+SCALE = 0.0625
+
+
+@pytest.fixture(scope="module")
+def command_list():
+    return capture_frame_commands(ALL_APPS[0], 0, scale=SCALE)
+
+
+class TestCapture:
+    def test_captures_all_draws(self, command_list):
+        rng = np.random.default_rng((ALL_APPS[0].seed << 8) ^ 0)
+        resources = build_resources(ALL_APPS[0], SCALE, rng)
+        passes = build_frame_passes(ALL_APPS[0], resources, 0, rng)
+        assert command_list.draw_count() == sum(len(p.draws) for p in passes)
+
+    def test_resource_table_complete(self, command_list):
+        names = set(command_list.surface_table())
+        for command in command_list.commands:
+            if isinstance(command, SetTargets):
+                assert command.color in names
+            elif isinstance(command, BindTexture):
+                assert command.surface in names
+            elif isinstance(command, Present):
+                assert command.display in names
+
+    def test_present_emitted(self, command_list):
+        assert any(isinstance(c, Present) for c in command_list.commands)
+
+    def test_textures_declared_with_levels(self, command_list):
+        table = command_list.surface_table()
+        assert any(decl.levels > 1 for decl in table.values())
+
+
+class TestSerialization:
+    def test_json_round_trip(self, command_list):
+        text = command_list.to_json()
+        loaded = CommandList.from_json(text)
+        assert loaded.draw_count() == command_list.draw_count()
+        assert len(loaded.surfaces) == len(command_list.surfaces)
+        assert loaded.commands == command_list.commands
+        assert loaded.meta["abbrev"] == command_list.meta["abbrev"]
+
+    def test_file_round_trip(self, command_list, tmp_path):
+        path = tmp_path / "frame.cmds.json"
+        command_list.save(path)
+        loaded = CommandList.load(path)
+        assert loaded.commands == command_list.commands
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(WorkloadError):
+            CommandList.from_json("not json at all {")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            CommandList.from_json(
+                '{"version": 1, "surfaces": [], '
+                '"commands": [{"op": "warp_drive"}]}'
+            )
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(WorkloadError):
+            CommandList.from_json('{"version": 99, "surfaces": [], "commands": []}')
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            CommandList.load(tmp_path / "absent.json")
+
+
+class TestReconstruction:
+    def test_passes_round_trip_structure(self, command_list):
+        passes = passes_from_commands(command_list)
+        assert sum(len(p.draws) for p in passes) == command_list.draw_count()
+        assert passes[-1].resolve_to is not None
+
+    def test_unknown_surface_reference_rejected(self):
+        bad = CommandList(
+            surfaces=[],
+            commands=[
+                SetTargets(color="ghost"),
+                SetPipelineState(),
+                Draw(region=(0, 0, 1, 1)),
+            ],
+        )
+        with pytest.raises(WorkloadError):
+            passes_from_commands(bad)
+
+
+class TestReplay:
+    def test_replay_produces_equivalent_structure(self, command_list):
+        from repro.workloads.framegen import generate_frame_trace
+
+        direct = generate_frame_trace(ALL_APPS[0], 0, scale=SCALE)
+        replayed = replay_command_list(command_list)
+        # Same structure: lengths within a few percent (coverage noise)
+        # and matching stream mix shape.
+        assert abs(len(replayed) - len(direct)) / len(direct) < 0.25
+        direct_mix = compute_trace_stats(direct).mix()
+        replay_mix = compute_trace_stats(replayed).mix()
+        for stream in (Stream.RT, Stream.TEXTURE, Stream.Z):
+            assert replay_mix[stream] == pytest.approx(
+                direct_mix[stream], abs=0.08
+            )
+
+    def test_replay_deterministic_per_seed(self, command_list):
+        a = replay_command_list(command_list, seed=3)
+        b = replay_command_list(command_list, seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_replay_through_different_render_caches(self, command_list):
+        small = replay_command_list(
+            command_list, RenderCachesConfig().scaled(1 / 256)
+        )
+        large = replay_command_list(
+            command_list, RenderCachesConfig().scaled(1 / 16)
+        )
+        # Bigger render caches absorb more raw accesses before the LLC.
+        assert len(large) < len(small)
+
+    def test_replay_json_round_trip_equivalence(self, command_list):
+        reloaded = CommandList.from_json(command_list.to_json())
+        a = replay_command_list(command_list, seed=1)
+        b = replay_command_list(reloaded, seed=1)
+        assert np.array_equal(a.addresses, b.addresses)

@@ -1,0 +1,71 @@
+"""Saturating-counter tests (the Section-3 hardware counters)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.counters import SaturatingCounter
+
+
+def test_increment_saturates():
+    counter = SaturatingCounter(bits=3)
+    for _ in range(20):
+        counter.increment()
+    assert counter.value == 7
+    assert counter.is_saturated
+
+
+def test_increment_reports_saturation():
+    counter = SaturatingCounter(bits=2, value=2)
+    assert counter.increment() is True  # reaches 3
+    assert counter.increment() is True  # stays 3
+
+
+def test_decrement_saturates_at_zero():
+    counter = SaturatingCounter(bits=4, value=2)
+    assert counter.decrement() is False
+    assert counter.decrement() is True
+    assert counter.decrement() is True
+    assert counter.value == 0
+
+
+def test_halving_matches_paper_aging():
+    counter = SaturatingCounter(bits=8, value=201)
+    counter.halve()
+    assert counter.value == 100
+    counter.halve()
+    assert counter.value == 50
+
+
+def test_seven_bit_acc_counter_range():
+    counter = SaturatingCounter(bits=7)
+    assert counter.max_value == 127
+
+
+def test_reset():
+    counter = SaturatingCounter(bits=8, value=99)
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_int_conversion():
+    assert int(SaturatingCounter(bits=8, value=42)) == 42
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ConfigError):
+        SaturatingCounter(bits=0)
+
+
+def test_out_of_range_initial_value_rejected():
+    with pytest.raises(ConfigError):
+        SaturatingCounter(bits=2, value=4)
+    with pytest.raises(ConfigError):
+        SaturatingCounter(bits=2, value=-1)
+
+
+def test_increment_by_amount():
+    counter = SaturatingCounter(bits=4)
+    counter.increment(10)
+    assert counter.value == 10
+    counter.increment(10)
+    assert counter.value == 15

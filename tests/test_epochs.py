@@ -1,0 +1,130 @@
+"""Epoch tracker tests (Section 2.3 definitions)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.core.lru import LRUPolicy
+from repro.sim.epochs import EpochStats, EpochTracker, MultiEpochTracker
+from repro.streams import Stream, StreamClass
+
+
+def _tracked_llc(sclass=StreamClass.TEX, num_sets=4, ways=2):
+    tracker = EpochTracker(sclass, num_sets * ways)
+    llc = LLC(CacheGeometry(num_sets=num_sets, ways=ways), LRUPolicy(),
+              observer=tracker)
+    return tracker, llc
+
+
+def test_fill_enters_e0():
+    tracker, llc = _tracked_llc()
+    llc.access(0, Stream.TEXTURE)
+    assert tracker.entered[0] == 1
+
+
+def test_hits_advance_epochs():
+    tracker, llc = _tracked_llc()
+    for _ in range(4):
+        llc.access(0, Stream.TEXTURE)
+    assert tracker.entered == [1, 1, 1, 1]
+    assert tracker.hits_from == [1, 1, 1, 0]
+
+
+def test_epoch_cap_accumulates_hits():
+    tracker, llc = _tracked_llc()
+    for _ in range(7):
+        llc.access(0, Stream.TEXTURE)
+    # Entered each epoch once; extra hits pile into E>=3.
+    assert tracker.entered == [1, 1, 1, 1]
+    assert tracker.hits_from == [1, 1, 1, 3]
+
+
+def test_rt_consumption_starts_texture_life():
+    tracker, llc = _tracked_llc()
+    llc.access(0, Stream.RT, is_write=True)
+    assert tracker.entered[0] == 0       # RT fill is not a texture life
+    llc.access(0, Stream.TEXTURE)        # consumption -> E0
+    assert tracker.entered[0] == 1
+    llc.access(0, Stream.TEXTURE)        # first intra hit
+    assert tracker.hits_from[0] == 1
+
+
+def test_conversion_ends_life():
+    tracker, llc = _tracked_llc()
+    llc.access(0, Stream.TEXTURE)
+    llc.access(0, Stream.RT, is_write=True)  # texture life converted
+    assert tracker.conversions == 1
+
+
+def test_z_tracker_ignores_texture():
+    tracker, llc = _tracked_llc(sclass=StreamClass.Z)
+    llc.access(0, Stream.TEXTURE)
+    llc.access(64, Stream.Z)
+    assert tracker.entered[0] == 1
+
+
+def test_death_ratio_counts_evictions():
+    tracker, llc = _tracked_llc(num_sets=1, ways=1)
+    llc.access(0, Stream.TEXTURE)      # life 1: dies in E0
+    llc.access(64, Stream.TEXTURE)     # evicts life 1; life 2
+    llc.access(64, Stream.TEXTURE)     # life 2 -> E1
+    llc.access(128, Stream.TEXTURE)    # evicts life 2; life 3 (alive)
+    stats = tracker.finalize()
+    # entered E0: 3, entered E1: 1, still alive in E0: 1
+    assert stats.entered[0] == 3
+    assert stats.entered[1] == 1
+    assert stats.still_alive[0] == 1
+    # Of the two concluded E0 lives, one died: ratio 0.5.
+    assert stats.death_ratio(0) == pytest.approx(0.5)
+
+
+def test_death_ratio_with_survivors_included():
+    stats = EpochStats(
+        entered=(4, 1, 0, 0), hits_from=(1, 0, 0, 0),
+        still_alive=(1, 0, 0, 0), conversions=0,
+    )
+    assert stats.death_ratio(0, exclude_survivors=False) == pytest.approx(3 / 4)
+    assert stats.death_ratio(0) == pytest.approx(2 / 3)
+
+
+def test_reuse_probability_is_complement():
+    stats = EpochStats(
+        entered=(10, 3, 0, 0), hits_from=(3, 0, 0, 0),
+        still_alive=(0, 0, 0, 0), conversions=0,
+    )
+    assert stats.reuse_probability(0) == pytest.approx(0.3)
+
+
+def test_hit_distribution_sums_to_one():
+    stats = EpochStats(
+        entered=(10, 5, 2, 1), hits_from=(5, 2, 1, 2),
+        still_alive=(0, 0, 0, 0), conversions=0,
+    )
+    assert sum(stats.hit_distribution()) == pytest.approx(1.0)
+
+
+def test_death_ratio_bad_epoch_rejected():
+    stats = EpochStats((1, 0, 0, 0), (0, 0, 0, 0), (0, 0, 0, 0), 0)
+    with pytest.raises(IndexError):
+        stats.death_ratio(3)
+
+
+def test_multi_tracker_fans_out():
+    tex = EpochTracker(StreamClass.TEX, 8)
+    z = EpochTracker(StreamClass.Z, 8)
+    llc = LLC(
+        CacheGeometry(num_sets=4, ways=2),
+        LRUPolicy(),
+        observer=MultiEpochTracker([tex, z]),
+    )
+    llc.access(0, Stream.TEXTURE)
+    llc.access(64, Stream.Z)
+    assert tex.entered[0] == 1
+    assert z.entered[0] == 1
+
+
+def test_untracked_hits_counted():
+    tracker, llc = _tracked_llc()
+    llc.access(0, Stream.Z)          # fills as Z (untracked by TEX)
+    llc.access(0, Stream.TEXTURE)    # TEX hit on an untracked life
+    assert tracker.untracked_hits == 1

@@ -1,0 +1,133 @@
+"""Frame-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.streams import Stream
+from repro.trace.stats import compute_trace_stats
+from repro.workloads.apps import ALL_APPS, app_by_name
+from repro.workloads.framegen import (
+    build_frame_passes,
+    build_resources,
+    generate_frame_trace,
+)
+
+SCALE = 0.0625  # 1/16 linear: fast frames for tests
+
+
+@pytest.fixture(scope="module")
+def frame_trace():
+    return generate_frame_trace(ALL_APPS[0], frame_index=0, scale=SCALE)
+
+
+def test_trace_nonempty_and_metadata(frame_trace):
+    assert len(frame_trace) > 1000
+    assert frame_trace.meta["abbrev"] == ALL_APPS[0].abbrev
+    assert frame_trace.meta["frame"] == 0
+    assert frame_trace.meta["scale"] == SCALE
+    assert frame_trace.meta["raw_accesses"] >= len(frame_trace)
+
+
+def test_deterministic_generation():
+    a = generate_frame_trace(ALL_APPS[1], 0, scale=SCALE)
+    b = generate_frame_trace(ALL_APPS[1], 0, scale=SCALE)
+    assert np.array_equal(a.addresses, b.addresses)
+    assert np.array_equal(a.streams, b.streams)
+
+
+def test_frames_differ(frame_trace):
+    other = generate_frame_trace(ALL_APPS[0], 1, scale=SCALE)
+    assert not (
+        len(other) == len(frame_trace)
+        and np.array_equal(other.addresses, frame_trace.addresses)
+    )
+
+
+def test_all_major_streams_present(frame_trace):
+    stats = compute_trace_stats(frame_trace)
+    for stream in (
+        Stream.VERTEX,
+        Stream.HIZ,
+        Stream.Z,
+        Stream.RT,
+        Stream.TEXTURE,
+        Stream.DISPLAY,
+        Stream.OTHER,
+    ):
+        assert stats.stream_counts[stream] > 0, stream
+
+
+def test_rt_and_tex_dominate(frame_trace):
+    """The Figure-4 shape: RT + TEX carry most of the LLC traffic."""
+    stats = compute_trace_stats(frame_trace)
+    rt = stats.stream_fraction(Stream.RT)
+    tex = stats.stream_fraction(Stream.TEXTURE)
+    assert rt + tex > 0.5
+    assert stats.stream_fraction(Stream.Z) > 0.05
+
+
+def test_display_written_once(frame_trace):
+    display_mask = frame_trace.stream_mask(Stream.DISPLAY)
+    addresses = frame_trace.addresses[display_mask]
+    assert frame_trace.writes[display_mask].all()
+    assert len(np.unique(addresses)) == len(addresses)
+
+
+def test_render_to_texture_exists(frame_trace):
+    """Some blocks are written by RT and later read by TEX."""
+    blocks = frame_trace.block_addresses()
+    rt_blocks = set(blocks[frame_trace.stream_mask(Stream.RT)].tolist())
+    tex_blocks = set(blocks[frame_trace.stream_mask(Stream.TEXTURE)].tolist())
+    assert len(rt_blocks & tex_blocks) > 100
+
+
+def test_negative_frame_rejected():
+    with pytest.raises(WorkloadError):
+        generate_frame_trace(ALL_APPS[0], frame_index=-1)
+
+
+def test_resources_allocated_disjoint():
+    rng = np.random.default_rng(0)
+    resources = build_resources(app_by_name("BioShock"), SCALE, rng)
+    surfaces = [
+        resources.back_buffer,
+        resources.display,
+        resources.depth,
+        resources.hiz,
+        resources.stencil,
+        resources.scene_color,
+        *resources.aux_targets,
+        *resources.post_targets,
+        *resources.dyntex_targets,
+        *resources.shadow_maps,
+    ]
+    ranges = sorted(
+        (s.base, s.base + s.size_bytes) for s in surfaces
+    )
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 <= b0
+
+
+def test_pass_structure():
+    rng = np.random.default_rng(0)
+    app = app_by_name("StalkerCOP")
+    resources = build_resources(app, SCALE, rng)
+    passes = build_frame_passes(app, resources, 0, rng)
+    names = [p.name for p in passes]
+    assert any(name.startswith("shadow") for name in names)
+    assert any(name.startswith("main") for name in names)
+    assert any(name.startswith("post") for name in names)
+    assert names[-1] == "final"
+    assert passes[-1].resolve_to is resources.display
+
+
+def test_post_chain_reads_previous_output():
+    rng = np.random.default_rng(0)
+    app = app_by_name("Unigine")
+    resources = build_resources(app, SCALE, rng)
+    passes = build_frame_passes(app, resources, 0, rng)
+    posts = [p for p in passes if p.name.startswith("post")]
+    assert len(posts) == app.post_passes
+    first_sources = [b.source for b in posts[0].draws[0].textures]
+    assert resources.scene_color in first_sources

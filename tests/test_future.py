@@ -1,0 +1,55 @@
+"""Next-use precomputation tests."""
+
+import numpy as np
+
+from repro.core.base import NEVER
+from repro.sim.future import next_use_indices, trace_next_use
+from repro.streams import Stream
+
+from helpers import make_trace
+
+
+def _reference(blocks):
+    """O(n^2) reference implementation."""
+    n = len(blocks)
+    out = []
+    for i in range(n):
+        nxt = NEVER
+        for j in range(i + 1, n):
+            if blocks[j] == blocks[i]:
+                nxt = j
+                break
+        out.append(nxt)
+    return out
+
+
+def test_simple_sequence():
+    blocks = np.array([1, 2, 1, 3, 2, 1], dtype=np.uint64)
+    assert next_use_indices(blocks).tolist() == [2, 4, 5, NEVER, NEVER, NEVER]
+
+
+def test_matches_reference_on_random_input():
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 20, size=200).astype(np.uint64)
+    assert next_use_indices(blocks).tolist() == _reference(blocks.tolist())
+
+
+def test_all_unique():
+    blocks = np.arange(50, dtype=np.uint64)
+    assert (next_use_indices(blocks) == NEVER).all()
+
+
+def test_all_same_block():
+    blocks = np.zeros(5, dtype=np.uint64)
+    assert next_use_indices(blocks).tolist() == [1, 2, 3, 4, NEVER]
+
+
+def test_empty_and_single():
+    assert next_use_indices(np.empty(0, dtype=np.uint64)).size == 0
+    assert next_use_indices(np.zeros(1, dtype=np.uint64)).tolist() == [NEVER]
+
+
+def test_trace_next_use_applies_block_granularity():
+    # Two addresses in the same 64 B block are the same "block".
+    trace = make_trace([(0, Stream.Z), (0, Stream.TEXTURE)])
+    assert trace_next_use(trace).tolist() == [1, NEVER]

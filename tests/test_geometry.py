@@ -1,0 +1,62 @@
+"""Cache-geometry tests: indexing, banking, sample-set selection."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.config import LLCConfig
+from repro.errors import ConfigError
+
+
+def test_paper_geometry_sample_ratio():
+    geometry = CacheGeometry.from_config(LLCConfig())
+    # "sixteen sets in every 1024 LLC sets" = 1/64.
+    assert len(geometry.sample_sets) == geometry.num_sets // 64
+
+
+def test_sample_sets_spread_over_banks():
+    geometry = CacheGeometry.from_config(LLCConfig())
+    banks = {geometry.bank_of_set[s] for s in geometry.sample_sets}
+    assert banks == set(range(geometry.banks))
+
+
+def test_address_decomposition():
+    geometry = CacheGeometry(num_sets=64, ways=4, block_bytes=64)
+    address = (5 << 6) | 3          # block 5, offset 3
+    block = geometry.block_address(address)
+    assert block == 5
+    assert geometry.set_index(block) == 5
+    assert geometry.tag(block) == 0
+    far_block = geometry.block_address((64 * 7 + 5) * 64)
+    assert geometry.set_index(far_block) == 5
+    assert geometry.tag(far_block) == 7
+
+
+def test_bank_interleaving_on_low_bits():
+    geometry = CacheGeometry(num_sets=16, ways=2, banks=4)
+    assert [geometry.bank_of_set[s] for s in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_sample_period_clamped_for_tiny_caches():
+    geometry = CacheGeometry(num_sets=4, ways=2, sample_period=64)
+    # Followers must remain the majority even at tiny sizes.
+    assert 0 < len(geometry.sample_sets) < geometry.num_sets
+
+
+def test_capacity():
+    geometry = CacheGeometry(num_sets=64, ways=4, block_bytes=64)
+    assert geometry.capacity_bytes == 64 * 4 * 64
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ConfigError):
+        CacheGeometry(num_sets=48, ways=4)  # sets not a power of two
+    with pytest.raises(ConfigError):
+        CacheGeometry(num_sets=16, ways=0)
+    with pytest.raises(ConfigError):
+        CacheGeometry(num_sets=4, ways=2, banks=8)  # banks > sets
+
+
+def test_sampling_deterministic():
+    a = CacheGeometry(num_sets=256, ways=4, sample_period=16)
+    b = CacheGeometry(num_sets=256, ways=4, sample_period=16)
+    assert a.sample_sets == b.sample_sets

@@ -1,0 +1,83 @@
+"""Golden regression tests.
+
+Every policy's exact miss count on a fixed, deterministic synthetic
+trace and a fixed small LLC.  These pin the *behaviour* of the whole
+stack — trace synthesis, geometry, sampling, counters, victim
+selection — so that any semantic change to a policy or to the engine
+shows up as a diff here even if all invariant tests still pass.
+
+If a change is intentional, regenerate with::
+
+    python tests/test_golden_regression.py
+
+which prints the updated table to paste in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheParams, KB, LLCConfig
+from repro.core.registry import available_policies
+from repro.sim.offline import simulate_trace
+from repro.trace import synth
+
+LLC = LLCConfig(params=CacheParams(32 * KB, ways=8), banks=2, sample_period=8)
+
+
+def _golden_trace():
+    base = synth.producer_consumer(
+        num_blocks=256, rounds=4, consume_fraction=0.75, gap_blocks=1024
+    )
+    tail = synth.scan_with_working_set(
+        working_blocks=64, scan_blocks=512, rounds=4
+    )
+    return base.concat(tail)
+
+
+#: policy -> exact miss count on the golden trace (regenerate: see above).
+GOLDEN_MISSES = {
+    "belady": 6400,
+    "bip": 6542,
+    "brrip": 6618,
+    "dip": 7869,
+    "drrip": 7753,
+    "drrip4": 7719,
+    "gs-drrip": 7236,
+    "gs-drrip4": 6881,
+    "gspc": 7862,
+    "gspc+bypass": 7851,
+    "gspztc": 7921,
+    "gspztc+tse": 7921,
+    "lru": 7569,
+    "nru": 7569,
+    "ship-mem": 8188,
+    "srrip": 7280,
+}
+
+
+def test_golden_table_covers_every_policy():
+    assert set(GOLDEN_MISSES) == set(available_policies())
+
+
+@pytest.mark.parametrize("policy", sorted(GOLDEN_MISSES))
+def test_golden_miss_counts(policy):
+    result = simulate_trace(_golden_trace(), policy, LLC)
+    assert result.misses == GOLDEN_MISSES[policy], (
+        f"{policy}: got {result.misses}, golden {GOLDEN_MISSES[policy]} — "
+        "intentional behaviour change? regenerate the table "
+        "(python tests/test_golden_regression.py)"
+    )
+
+
+def test_golden_belady_is_minimum():
+    assert GOLDEN_MISSES["belady"] == min(GOLDEN_MISSES.values())
+
+
+if __name__ == "__main__":
+    trace = _golden_trace()
+    print("GOLDEN_MISSES = {")
+    for name in sorted(available_policies()):
+        misses = simulate_trace(trace, name, LLC).misses
+        print(f'    "{name}": {misses},')
+    print("}")

@@ -1,0 +1,61 @@
+"""Paper-scale (scale = 1.0) configuration tests.
+
+Trace *generation* at full resolution is expensive, but resource
+allocation and command capture are cheap at any scale — so the paper
+configuration itself is validated on every test run, and the heavy
+rasterization stays in the reduced-scale tests.
+"""
+
+import numpy as np
+
+from repro.config import MB, paper_baseline
+from repro.workloads.apps import app_by_name
+from repro.workloads.framegen import build_frame_passes, build_resources
+from repro.workloads.replay import capture_frame_commands
+
+
+def test_paper_llc_configuration():
+    system = paper_baseline(llc_mb=8, scale=1.0)
+    assert system.llc.params.capacity_bytes == 8 * MB
+    assert system.llc.num_sets == 8192
+    assert system.llc.banks == 4
+    assert system.llc.sample_period == 64
+    assert len(
+        [s for s in range(8192) if s % 64 == 0]
+    ) == 128  # 16 per 1024 sets
+
+
+def test_paper_scale_surfaces_match_resolutions():
+    app = app_by_name("Heaven")  # 2560 x 1600
+    rng = np.random.default_rng(0)
+    resources = build_resources(app, 1.0, rng)
+    assert resources.back_buffer.width_px == 2560
+    assert resources.back_buffer.height_px == 1600
+    # A 32-bit 2560x1600 surface is 16 MB: comparable to the LLC, as in
+    # the paper's capacity discussion.
+    assert resources.back_buffer.size_bytes == 2560 * 1600 * 4
+
+
+def test_paper_scale_pass_list_builds():
+    app = app_by_name("StalkerCOP")
+    rng = np.random.default_rng(0)
+    resources = build_resources(app, 1.0, rng)
+    passes = build_frame_passes(app, resources, 0, rng)
+    assert passes
+    total_tiles = sum(
+        draw.tile_count() for p in passes for draw in p.draws
+    )
+    # Multi-pass full-resolution rendering covers millions of tiles.
+    assert total_tiles > 1_000_000
+
+
+def test_paper_scale_command_capture():
+    command_list = capture_frame_commands(
+        app_by_name("BioShock"), 0, scale=1.0
+    )
+    assert command_list.draw_count() > 50
+    table = command_list.surface_table()
+    assert table["back_buffer"].width_px == 1920
+    # Serialization stays modest even at paper scale (commands, not
+    # accesses).
+    assert len(command_list.to_json()) < 1_000_000

@@ -1,0 +1,57 @@
+"""Render-pass and draw-call description tests."""
+
+from repro.workloads.passes import (
+    DrawCall,
+    Frame,
+    RenderPass,
+    TextureBinding,
+    clip_region,
+    full_screen_region,
+)
+from repro.workloads.surfaces import AddressSpace, allocate_surface, allocate_texture
+
+
+def _surface(width=64, height=64):
+    return allocate_surface(AddressSpace(), "s", width, height)
+
+
+def test_full_screen_region():
+    surface = _surface(64, 32)
+    assert full_screen_region(surface) == (0, 0, 16, 8)
+
+
+def test_clip_region():
+    surface = _surface(64, 64)  # 16 x 16 tiles
+    assert clip_region((-4, 2, 99, 10), surface) == (0, 2, 16, 10)
+
+
+def test_draw_tile_count():
+    assert DrawCall(region=(0, 0, 4, 3)).tile_count() == 12
+    assert DrawCall(region=(5, 5, 5, 9)).tile_count() == 0
+    assert DrawCall(region=(5, 5, 3, 9)).tile_count() == 0
+
+
+def test_texture_binding_dynamic_flag():
+    space = AddressSpace()
+    static = TextureBinding(source=allocate_texture(space, "t", 32, 32))
+    dynamic = TextureBinding(source=allocate_surface(space, "s", 32, 32))
+    assert not static.is_dynamic
+    assert dynamic.is_dynamic
+
+
+def test_frame_draw_count():
+    surface = _surface()
+    frame = Frame(
+        name="f",
+        width_px=64,
+        height_px=64,
+        passes=(
+            RenderPass("a", surface, draws=(DrawCall((0, 0, 1, 1)),)),
+            RenderPass(
+                "b",
+                surface,
+                draws=(DrawCall((0, 0, 1, 1)), DrawCall((0, 0, 2, 2))),
+            ),
+        ),
+    )
+    assert frame.num_draws == 3

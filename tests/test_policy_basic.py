@@ -1,0 +1,124 @@
+"""NRU, LRU, SRRIP, BRRIP behavioral tests."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.core.brrip import BIMODAL_PERIOD, BRRIPPolicy
+from repro.core.lru import LRUPolicy
+from repro.core.nru import NRUPolicy
+from repro.core.srrip import SRRIPPolicy
+from repro.streams import Stream
+
+
+def _llc(policy, num_sets=1, ways=4):
+    return LLC(CacheGeometry(num_sets=num_sets, ways=ways), policy)
+
+
+def _fill_set(llc, count, start=0):
+    for block in range(start, start + count):
+        llc.access(block * 64, Stream.OTHER)
+
+
+class TestNRU:
+    def test_victimizes_lowest_unreferenced_way(self):
+        llc = _llc(NRUPolicy(), ways=2)
+        _fill_set(llc, 2)
+        # Both referenced -> clear all, way 0 victimized.
+        llc.access(2 * 64, Stream.OTHER)
+        assert not llc.contains(0)
+        assert llc.contains(64)
+
+    def test_hit_protects_block_across_clear(self):
+        llc = _llc(NRUPolicy(), ways=2)
+        _fill_set(llc, 2)
+        llc.access(2 * 64, Stream.OTHER)   # clears bits, evicts way 0
+        llc.access(64, Stream.OTHER)       # hit: re-reference block 1
+        llc.access(3 * 64, Stream.OTHER)   # must evict block 2, not block 1
+        assert llc.contains(64)
+        assert not llc.contains(2 * 64)
+
+
+class TestLRU:
+    def test_exact_lru_order(self):
+        llc = _llc(LRUPolicy(), ways=3)
+        _fill_set(llc, 3)
+        llc.access(0, Stream.OTHER)       # order now: 1, 2, 0
+        llc.access(3 * 64, Stream.OTHER)  # evicts block 1
+        assert llc.contains(0)
+        assert not llc.contains(64)
+        assert llc.contains(2 * 64)
+
+    def test_scan_evicts_everything(self):
+        llc = _llc(LRUPolicy(), ways=4)
+        _fill_set(llc, 4)
+        _fill_set(llc, 4, start=4)
+        for block in range(4):
+            assert not llc.contains(block * 64)
+
+
+class TestSRRIP:
+    def test_insertion_rrpv_is_long(self):
+        policy = SRRIPPolicy()
+        llc = _llc(policy, ways=4)
+        llc.access(0, Stream.Z)
+        assert policy.get_rrpv(0, 0) == 2
+
+    def test_hit_promotes_to_zero(self):
+        policy = SRRIPPolicy()
+        llc = _llc(policy, ways=4)
+        llc.access(0, Stream.Z)
+        llc.access(0, Stream.Z)
+        assert policy.get_rrpv(0, 0) == 0
+
+    def test_aging_on_victim_search(self):
+        policy = SRRIPPolicy()
+        llc = _llc(policy, ways=2)
+        _fill_set(llc, 2)                  # both at RRPV 2
+        llc.access(2 * 64, Stream.OTHER)   # age both to 3, evict way 0
+        assert not llc.contains(0)
+        # Survivor was aged to the distant RRPV.
+        way = llc.way_of(64)
+        assert policy.get_rrpv(0, way) == 3
+
+    def test_hit_block_survives_scan_longer_than_lru(self):
+        # A block at RRPV 0 needs 3 aging rounds to be evicted.
+        policy = SRRIPPolicy()
+        llc = _llc(policy, ways=2)
+        llc.access(0, Stream.Z)
+        llc.access(0, Stream.Z)            # RRPV 0
+        llc.access(64, Stream.OTHER)
+        llc.access(2 * 64, Stream.OTHER)   # evicts block 1 (RRPV 2->3)
+        assert llc.contains(0)
+
+    def test_tie_broken_by_lowest_way(self):
+        policy = SRRIPPolicy()
+        llc = _llc(policy, ways=4)
+        _fill_set(llc, 4)
+        llc.access(4 * 64, Stream.OTHER)
+        assert not llc.contains(0)          # way 0 wins the tie
+
+
+class TestBRRIP:
+    def test_mostly_distant_insertion(self):
+        policy = BRRIPPolicy()
+        llc = _llc(policy, num_sets=1, ways=4)
+        llc.access(0, Stream.Z)
+        assert policy.get_rrpv(0, 0) == 3
+
+    def test_one_in_period_inserted_long(self):
+        policy = BRRIPPolicy()
+        llc = _llc(policy, num_sets=64, ways=4)
+        long_inserts = 0
+        for block in range(2 * BIMODAL_PERIOD):
+            llc.access(block * 64, Stream.Z)
+            way = llc.way_of(block * 64)
+            set_index = block % 64
+            if policy.get_rrpv(set_index, way) == 2:
+                long_inserts += 1
+        assert long_inserts == 2
+
+    def test_fill_counts_recorded(self):
+        policy = BRRIPPolicy()
+        llc = _llc(policy, num_sets=4, ways=4)
+        for block in range(8):
+            llc.access(block * 64, Stream.TEXTURE)
+        assert sum(policy.fill_rrpv_counts[1]) == 8

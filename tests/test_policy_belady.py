@@ -1,0 +1,70 @@
+"""Belady's OPT tests."""
+
+import pytest
+
+from repro.config import CacheParams, LLCConfig
+from repro.core.base import NEVER
+from repro.core.belady import BeladyPolicy
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.sim.offline import simulate_trace
+from repro.streams import Stream
+from repro.trace import synth
+
+from helpers import make_trace
+
+
+def test_requires_future_flag():
+    assert BeladyPolicy.needs_future is True
+
+
+def test_victimizes_farthest_next_use():
+    policy = BeladyPolicy()
+    llc = LLC(CacheGeometry(num_sets=1, ways=2), policy)
+    llc.access(0 * 64, Stream.Z, next_use=10)
+    llc.access(1 * 64, Stream.Z, next_use=5)
+    llc.access(2 * 64, Stream.Z, next_use=7)  # evicts block 0 (use at 10)
+    assert not llc.contains(0)
+    assert llc.contains(64)
+
+
+def test_never_used_again_preferred_victim():
+    policy = BeladyPolicy()
+    llc = LLC(CacheGeometry(num_sets=1, ways=2), policy)
+    llc.access(0 * 64, Stream.Z, next_use=NEVER)
+    llc.access(1 * 64, Stream.Z, next_use=3)
+    llc.access(2 * 64, Stream.Z, next_use=4)
+    assert not llc.contains(0)
+
+
+def test_hit_updates_next_use():
+    policy = BeladyPolicy()
+    llc = LLC(CacheGeometry(num_sets=1, ways=2), policy)
+    llc.access(0 * 64, Stream.Z, next_use=2)
+    llc.access(1 * 64, Stream.Z, next_use=100)
+    llc.access(0 * 64, Stream.Z, next_use=NEVER)  # block 0 now dead
+    llc.access(2 * 64, Stream.Z, next_use=50)     # must evict block 0
+    assert not llc.contains(0)
+    assert llc.contains(64)
+
+
+def test_optimal_on_classic_sequence():
+    # One-set cache of 2 ways; OPT on [0 1 2 0 1 2] misses 4 times
+    # (0,1,2 cold + one of the re-references), LRU misses all 6.
+    config = LLCConfig(params=CacheParams(128, ways=2), banks=1)
+    trace = make_trace([(b, Stream.OTHER) for b in [0, 1, 2, 0, 1, 2]])
+    opt = simulate_trace(trace, "belady", config)
+    lru = simulate_trace(trace, "lru", config)
+    assert opt.misses == 4
+    assert lru.misses == 6
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_opt_never_loses_to_online_policies(seed, small_llc_config):
+    trace = synth.random_trace(
+        length=4000, footprint_blocks=2048, seed=seed
+    )
+    opt = simulate_trace(trace, "belady", small_llc_config).misses
+    for policy in ("lru", "nru", "srrip", "drrip", "gspc"):
+        online = simulate_trace(trace, policy, small_llc_config).misses
+        assert opt <= online, f"OPT lost to {policy} (seed {seed})"

@@ -1,0 +1,74 @@
+"""GS-DRRIP (stream-aware dueling) tests."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.core.dueling import FOLLOWER, LEADER_A, LEADER_B
+from repro.core.gs_drrip import GSDRRIPPolicy
+from repro.streams import Stream
+
+
+def _bound_policy(num_sets=256, ways=4):
+    policy = GSDRRIPPolicy()
+    llc = LLC(CacheGeometry(num_sets=num_sets, ways=ways), policy)
+    return policy, llc
+
+
+def test_four_independent_duels():
+    policy, _ = _bound_policy()
+    assert len(policy.psels) == 4
+    assert len(policy.roles) == 4
+
+
+def test_leader_sets_disjoint_across_streams():
+    policy, _ = _bound_policy()
+    for set_index in range(256):
+        leading = [
+            sclass
+            for sclass in range(4)
+            if policy.roles[sclass][set_index] != FOLLOWER
+        ]
+        assert len(leading) <= 1
+
+
+def test_stream_follows_its_own_winner():
+    policy, llc = _bound_policy()
+    tex = 1  # StreamClass.TEX
+    # Push the TEX duel toward BRRIP by charging misses to its SRRIP
+    # leaders only.
+    for _ in range(600):
+        policy.psels[tex].record_leader_miss(LEADER_A)
+    follower = next(
+        s
+        for s in range(256)
+        if all(policy.roles[c][s] == FOLLOWER for c in range(4))
+    )
+    llc.access(follower * 64, Stream.TEXTURE)
+    way = llc.way_of(follower * 64)
+    assert policy.get_rrpv(follower, way) == 3  # TEX converged to BRRIP
+    # Another stream in the same set still uses its own (SRRIP) winner.
+    other_follower = next(
+        s
+        for s in range(follower + 1, 256)
+        if all(policy.roles[c][s] == FOLLOWER for c in range(4))
+    )
+    llc.access(other_follower * 64, Stream.Z)
+    way = llc.way_of(other_follower * 64)
+    assert policy.get_rrpv(other_follower, way) == 2
+
+
+def test_leader_set_fixed_insertion_only_for_its_stream():
+    policy, llc = _bound_policy()
+    tex = 1
+    brrip_leader = policy.roles[tex].index(LEADER_B)
+    # TEX fill in its BRRIP leader set -> distant insertion.
+    llc.access(brrip_leader * 64, Stream.TEXTURE)
+    way = llc.way_of(brrip_leader * 64)
+    assert policy.get_rrpv(brrip_leader, way) == 3
+    # A Z fill in the same set follows the Z winner (SRRIP initially).
+    llc.access((brrip_leader + 256) * 64, Stream.Z)
+    way = llc.way_of((brrip_leader + 256) * 64)
+    assert policy.get_rrpv(brrip_leader, way) == 2
+
+
+def test_four_bit_variant_name():
+    assert GSDRRIPPolicy(rrpv_bits=4).name == "gs-drrip4"

@@ -1,0 +1,133 @@
+"""GSPC tests against the Table-5 controller actions."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.core.gspc import GSPCPolicy
+from repro.core.gspc_base import STATE_RT
+from repro.streams import Stream
+
+
+def _bound(num_sets=16, ways=4, sample_period=8):
+    policy = GSPCPolicy()
+    geometry = CacheGeometry(
+        num_sets=num_sets, ways=ways, sample_period=sample_period
+    )
+    llc = LLC(geometry, policy)
+    sample = geometry.sample_sets[0]
+    follower = next(
+        s for s in range(num_sets) if not geometry.is_sample_set[s]
+    )
+    return policy, llc, sample, follower
+
+
+def _block_in(set_index, tag=0, num_sets=16):
+    return (tag * num_sets + set_index) * 64
+
+
+class TestProdConsCounters:
+    def test_sample_rt_fill_increments_prod(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.RT, is_write=True)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["prod"][bank] == 1
+
+    def test_sample_consumption_increments_cons(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.RT, is_write=True)
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["cons"][bank] == 1
+
+    def test_rt_blend_hit_does_not_increment_prod(self):
+        # Table 5: "RT hit (blending): state <- 11" only.
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.RT, is_write=True)
+        llc.access(_block_in(sample), Stream.RT)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["prod"][bank] == 1
+
+    def test_follower_rt_fill_does_not_increment_prod(self):
+        policy, llc, _, follower = _bound()
+        llc.access(_block_in(follower), Stream.RT, is_write=True)
+        bank = llc.geometry.bank_of_set[follower]
+        assert policy.counters["prod"][bank] == 0
+
+    def test_prod_cons_halved_with_other_counters(self):
+        policy, llc, sample, _ = _bound()
+        bank = llc.geometry.bank_of_set[sample]
+        policy.counters["prod"][bank] = 40
+        policy.counters["cons"][bank] = 20
+        policy.acc[bank] = policy.acc_max
+        llc.access(_block_in(sample), Stream.Z)
+        assert policy.counters["prod"][bank] == 20
+        assert policy.counters["cons"][bank] == 10
+
+
+class TestDynamicRTInsertion:
+    """Table 5's three-tier render-target protection."""
+
+    def _fill_rt(self, policy, llc, follower, prod, cons, tag=0):
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["prod"][bank] = prod
+        policy.counters["cons"][bank] = cons
+        address = _block_in(follower, tag=tag)
+        llc.access(address, Stream.RT, is_write=True)
+        return policy.get_rrpv(follower, llc.way_of(address))
+
+    def test_low_probability_distant(self):
+        policy, llc, _, follower = _bound()
+        # PROD > 16*CONS  (probability < 1/16) -> RRPV 3
+        assert self._fill_rt(policy, llc, follower, prod=33, cons=2) == 3
+
+    def test_mid_probability_long(self):
+        policy, llc, _, follower = _bound()
+        # 16*CONS >= PROD > 8*CONS -> RRPV 2
+        assert self._fill_rt(policy, llc, follower, prod=20, cons=2) == 2
+
+    def test_high_probability_protected(self):
+        policy, llc, _, follower = _bound()
+        # probability >= 1/8 -> RRPV 0
+        assert self._fill_rt(policy, llc, follower, prod=16, cons=2) == 0
+
+    def test_cold_start_protects(self):
+        policy, llc, _, follower = _bound()
+        # PROD == CONS == 0: 0 > 0 is false twice -> RRPV 0.
+        assert self._fill_rt(policy, llc, follower, prod=0, cons=0) == 0
+
+    def test_blend_hit_always_promotes(self):
+        policy, llc, _, follower = _bound()
+        self._fill_rt(policy, llc, follower, prod=200, cons=1)  # RRPV 3
+        address = _block_in(follower)
+        llc.access(address, Stream.RT)
+        slot = policy._slot(follower, llc.way_of(address))
+        assert policy.rrpv[slot] == 0
+        assert policy.state[slot] == STATE_RT
+
+    def test_consumption_probability_helper(self):
+        policy, llc, _, _ = _bound()
+        policy.counters["prod"][0] = 10
+        policy.counters["cons"][0] = 5
+        assert policy.rt_consumption_probability(0) == 0.5
+
+
+class TestInheritedBehaviour:
+    def test_tse_machinery_still_present(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["hit_e0"][bank] == 1
+
+    def test_counter_inventory_matches_paper(self):
+        # Two for Z, four for texture epochs, two for RT->TEX (Sec. 4).
+        policy, _, _, _ = _bound()
+        assert set(policy.counters) == {
+            "fill_z",
+            "hit_z",
+            "fill_e0",
+            "hit_e0",
+            "fill_e1",
+            "hit_e1",
+            "prod",
+            "cons",
+        }

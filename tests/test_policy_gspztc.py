@@ -1,0 +1,163 @@
+"""GSPZTC tests against the Table-3 controller actions."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.core.gspc_base import STATE_E0, STATE_RT
+from repro.core.gspztc import GSPZTCPolicy
+from repro.errors import ConfigError
+from repro.streams import Stream
+
+
+def _bound(num_sets=16, ways=4, sample_period=8, **kwargs):
+    policy = GSPZTCPolicy(**kwargs)
+    geometry = CacheGeometry(
+        num_sets=num_sets, ways=ways, sample_period=sample_period
+    )
+    llc = LLC(geometry, policy)
+    sample = geometry.sample_sets[0]
+    follower = next(
+        s for s in range(num_sets) if not geometry.is_sample_set[s]
+    )
+    return policy, llc, sample, follower
+
+
+def _block_in(set_index, tag=0, num_sets=16):
+    return (tag * num_sets + set_index) * 64
+
+
+class TestSampleSets:
+    def test_sample_fill_runs_srrip_and_counts(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.Z)
+        way = llc.way_of(_block_in(sample))
+        assert policy.get_rrpv(sample, way) == 2  # SRRIP insertion
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["fill_z"][bank] == 1
+
+    def test_sample_hit_counts_and_promotes(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.Z)
+        llc.access(_block_in(sample), Stream.Z)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["hit_z"][bank] == 1
+        assert policy.get_rrpv(sample, llc.way_of(_block_in(sample))) == 0
+
+    def test_rt_to_tex_consumption_counts_as_tex_fill(self):
+        # Table 3: "RT->TEX hit: FILL(TEX)++" — a consumed render target
+        # starts a new texture life.
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.RT, is_write=True)
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["fill_tex"][bank] == 1
+        assert policy.counters["hit_tex"][bank] == 0
+
+    def test_plain_tex_hit_counts_hit(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["fill_tex"][bank] == 1
+        assert policy.counters["hit_tex"][bank] == 1
+
+    def test_acc_saturation_halves_counters(self):
+        policy, llc, sample, _ = _bound()
+        bank = llc.geometry.bank_of_set[sample]
+        policy.counters["fill_tex"][bank] = 100
+        policy.acc[bank] = policy.acc_max
+        llc.access(_block_in(sample), Stream.Z)  # triggers the halving
+        assert policy.counters["fill_tex"][bank] == 50
+        assert policy.acc[bank] == 0
+
+
+class TestFollowerInsertion:
+    def test_rt_fills_fully_protected(self):
+        policy, llc, _, follower = _bound()
+        llc.access(_block_in(follower), Stream.RT, is_write=True)
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 0
+        slot = policy._slot(follower, llc.way_of(_block_in(follower)))
+        assert policy.state[slot] == STATE_RT
+
+    def test_tex_fill_distant_when_reuse_low(self):
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_tex"][bank] = 90   # 90 > 8 * 10
+        policy.counters["hit_tex"][bank] = 10
+        llc.access(_block_in(follower), Stream.TEXTURE)
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 3
+
+    def test_tex_fill_protected_when_reuse_high(self):
+        # Table 3: "otherwise the texture block is filled with RRPV zero
+        # because filling it with RRPV two hurts performance."
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_tex"][bank] = 10
+        policy.counters["hit_tex"][bank] = 10
+        llc.access(_block_in(follower), Stream.TEXTURE)
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 0
+
+    def test_z_fill_distant_or_long(self):
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_z"][bank] = 90
+        policy.counters["hit_z"][bank] = 10
+        llc.access(_block_in(follower), Stream.Z)
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 3
+        policy.counters["fill_z"][bank] = 10
+        llc.access(_block_in(follower, tag=1), Stream.Z)
+        way = llc.way_of(_block_in(follower, tag=1))
+        assert policy.get_rrpv(follower, way) == 2
+
+    def test_other_fill_long(self):
+        policy, llc, _, follower = _bound()
+        llc.access(_block_in(follower), Stream.VERTEX)
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 2
+
+    def test_any_hit_promotes_to_zero(self):
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_tex"][bank] = 200
+        llc.access(_block_in(follower), Stream.TEXTURE)  # distant fill
+        llc.access(_block_in(follower), Stream.TEXTURE)  # hit
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 0
+
+
+class TestRTBit:
+    def test_rt_bit_set_on_rt_hit(self):
+        policy, llc, _, follower = _bound()
+        llc.access(_block_in(follower), Stream.Z)
+        llc.access(_block_in(follower), Stream.RT, is_write=True)
+        slot = policy._slot(follower, llc.way_of(_block_in(follower)))
+        assert policy.state[slot] == STATE_RT
+
+    def test_rt_bit_cleared_on_consumption(self):
+        policy, llc, _, follower = _bound()
+        llc.access(_block_in(follower), Stream.RT, is_write=True)
+        llc.access(_block_in(follower), Stream.TEXTURE)
+        slot = policy._slot(follower, llc.way_of(_block_in(follower)))
+        assert policy.state[slot] == STATE_E0
+
+    def test_rt_bit_cleared_on_eviction(self):
+        policy, llc, _, follower = _bound(num_sets=16, ways=1)
+        address = _block_in(follower)
+        llc.access(address, Stream.RT, is_write=True)
+        llc.access(_block_in(follower, tag=1), Stream.Z)  # evicts the RT
+        slot = policy._slot(follower, 0)
+        assert policy.state[slot] == STATE_E0
+
+
+class TestParameters:
+    def test_t_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            GSPZTCPolicy(t=3)
+
+    def test_default_t_is_8(self):
+        assert GSPZTCPolicy().t == 8
+
+    def test_reuse_probability_helper(self):
+        policy, llc, _, _ = _bound()
+        policy.counters["fill_tex"][0] = 10
+        policy.counters["hit_tex"][0] = 5
+        assert policy.reuse_probability("fill_tex", "hit_tex", 0) == 0.5

@@ -1,0 +1,155 @@
+"""GSPZTC+TSE tests against Table 4 and the Figure-10 state machine."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.core.gspc_base import STATE_E0, STATE_E1, STATE_E2PLUS, STATE_RT
+from repro.core.gspztc_tse import GSPZTCTSEPolicy
+from repro.streams import Stream
+
+
+def _bound(num_sets=16, ways=4, sample_period=8):
+    policy = GSPZTCTSEPolicy()
+    geometry = CacheGeometry(
+        num_sets=num_sets, ways=ways, sample_period=sample_period
+    )
+    llc = LLC(geometry, policy)
+    sample = geometry.sample_sets[0]
+    follower = next(
+        s for s in range(num_sets) if not geometry.is_sample_set[s]
+    )
+    return policy, llc, sample, follower
+
+
+def _block_in(set_index, tag=0, num_sets=16):
+    return (tag * num_sets + set_index) * 64
+
+
+def _slot_of(policy, llc, address):
+    block = address >> 6
+    set_index = block & (llc.geometry.num_sets - 1)
+    return policy._slot(set_index, llc.way_of(address))
+
+
+class TestStateMachine:
+    """The Figure-10 transitions: 00 -> 01 -> 10 (sticky), 11 = RT."""
+
+    def test_tex_fill_enters_e0(self):
+        policy, llc, _, follower = _bound()
+        address = _block_in(follower)
+        llc.access(address, Stream.TEXTURE)
+        assert policy.state[_slot_of(policy, llc, address)] == STATE_E0
+
+    def test_epoch_progression_on_hits(self):
+        policy, llc, _, follower = _bound()
+        address = _block_in(follower)
+        llc.access(address, Stream.TEXTURE)
+        llc.access(address, Stream.TEXTURE)
+        assert policy.state[_slot_of(policy, llc, address)] == STATE_E1
+        llc.access(address, Stream.TEXTURE)
+        assert policy.state[_slot_of(policy, llc, address)] == STATE_E2PLUS
+        llc.access(address, Stream.TEXTURE)
+        assert policy.state[_slot_of(policy, llc, address)] == STATE_E2PLUS
+
+    def test_rt_fill_enters_state_11(self):
+        policy, llc, _, follower = _bound()
+        address = _block_in(follower)
+        llc.access(address, Stream.RT, is_write=True)
+        assert policy.state[_slot_of(policy, llc, address)] == STATE_RT
+
+    def test_consumption_restarts_at_e0(self):
+        policy, llc, _, follower = _bound()
+        address = _block_in(follower)
+        llc.access(address, Stream.RT, is_write=True)
+        llc.access(address, Stream.TEXTURE)
+        assert policy.state[_slot_of(policy, llc, address)] == STATE_E0
+
+    def test_rt_reacquisition_from_any_epoch(self):
+        # "an existing render target object is reused by the DirectX
+        # application for producing a new render target"
+        policy, llc, _, follower = _bound()
+        address = _block_in(follower)
+        llc.access(address, Stream.TEXTURE)
+        llc.access(address, Stream.TEXTURE)       # E1
+        llc.access(address, Stream.RT, is_write=True)
+        slot = _slot_of(policy, llc, address)
+        assert policy.state[slot] == STATE_RT
+        assert policy.rrpv[slot] == 0             # RT-hit RRPV rule
+
+
+class TestSampleCounters:
+    def test_tex_fill_increments_fill_e0(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["fill_e0"][bank] == 1
+
+    def test_e0_hit_feeds_both_epoch_counters(self):
+        # Table 4: "If state is 00 { HIT(0)++, FILL(1)++, state <- 01 }".
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["hit_e0"][bank] == 1
+        assert policy.counters["fill_e1"][bank] == 1
+
+    def test_e1_hit_increments_hit_e1_only(self):
+        policy, llc, sample, _ = _bound()
+        for _ in range(3):
+            llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["hit_e1"][bank] == 1
+        # E>=2 hits touch no epoch counters.
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        assert policy.counters["hit_e1"][bank] == 1
+
+    def test_consumption_counts_fill_e0(self):
+        policy, llc, sample, _ = _bound()
+        llc.access(_block_in(sample), Stream.RT, is_write=True)
+        llc.access(_block_in(sample), Stream.TEXTURE)
+        bank = llc.geometry.bank_of_set[sample]
+        assert policy.counters["fill_e0"][bank] == 1
+
+
+class TestFollowerRRPV:
+    def test_e0_entry_uses_epoch0_probability(self):
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_e0"][bank] = 90
+        policy.counters["hit_e0"][bank] = 1
+        llc.access(_block_in(follower), Stream.TEXTURE)
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 3
+
+    def test_e1_entry_uses_epoch1_probability(self):
+        # Unlike DRRIP, a texture hit does NOT always promote to zero:
+        # the E1 entry consults FILL(1)/HIT(1).
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_e1"][bank] = 90
+        policy.counters["hit_e1"][bank] = 1
+        address = _block_in(follower)
+        llc.access(address, Stream.TEXTURE)       # fill (E0)
+        llc.access(address, Stream.TEXTURE)       # hit -> E1 entry
+        assert policy.get_rrpv(follower, llc.way_of(address)) == 3
+
+    def test_e2_hit_promotes_to_zero(self):
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_e1"][bank] = 90   # would demote E1 entries
+        address = _block_in(follower)
+        for _ in range(3):
+            llc.access(address, Stream.TEXTURE)
+        assert policy.get_rrpv(follower, llc.way_of(address)) == 0
+
+    def test_rt_fill_still_statically_protected(self):
+        policy, llc, _, follower = _bound()
+        llc.access(_block_in(follower), Stream.RT, is_write=True)
+        assert policy.get_rrpv(follower, llc.way_of(_block_in(follower))) == 0
+
+    def test_consumption_entry_uses_epoch0_probability(self):
+        policy, llc, _, follower = _bound()
+        bank = llc.geometry.bank_of_set[follower]
+        policy.counters["fill_e0"][bank] = 90
+        address = _block_in(follower)
+        llc.access(address, Stream.RT, is_write=True)
+        llc.access(address, Stream.TEXTURE)       # RT -> TEX
+        assert policy.get_rrpv(follower, llc.way_of(address)) == 3

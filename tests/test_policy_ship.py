@@ -1,0 +1,58 @@
+"""SHiP-mem tests (Section 5.1's description)."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.core.ship import REGION_SHIFT, SHiPMemPolicy
+from repro.streams import Stream
+
+
+def _llc(num_sets=16, ways=2):
+    policy = SHiPMemPolicy()
+    return policy, LLC(CacheGeometry(num_sets=num_sets, ways=ways), policy)
+
+
+def test_initial_fill_is_long_not_distant():
+    policy, llc = _llc()
+    llc.access(0, Stream.TEXTURE)
+    assert policy.get_rrpv(0, 0) == 2
+
+
+def test_region_counter_learns_deadness():
+    policy, llc = _llc(num_sets=1, ways=1)
+    # Distinct blocks from ONE 16 KB region, never reused: every
+    # eviction decrements the region counter until fills go distant.
+    region_blocks = [i for i in range(4)]
+    for block in region_blocks:
+        llc.access(block * 64, Stream.TEXTURE)
+    # counter started at 1; first eviction decrements it to 0.
+    llc.access(4 * 64, Stream.TEXTURE)
+    assert policy.get_rrpv(0, 0) == 3  # dead region -> distant fill
+
+
+def test_hits_rehabilitate_region():
+    policy, llc = _llc(num_sets=1, ways=2)
+    llc.access(0, Stream.TEXTURE)
+    llc.access(0, Stream.TEXTURE)  # hit: region counter up
+    signature = policy._signature(0)
+    assert policy.shct[0][signature] >= 2
+
+
+def test_reused_block_eviction_does_not_decrement():
+    policy, llc = _llc(num_sets=1, ways=1)
+    llc.access(0, Stream.TEXTURE)
+    llc.access(0, Stream.TEXTURE)       # reused
+    before = policy.shct[0][policy._signature(0)]
+    llc.access((1 << REGION_SHIFT), Stream.TEXTURE)  # evicts block 0
+    assert policy.shct[0][policy._signature(0)] == before
+
+
+def test_different_regions_have_independent_counters():
+    policy, _ = _llc()
+    a = policy._signature(0)
+    b = policy._signature(1 << REGION_SHIFT)
+    assert a != b
+
+
+def test_same_region_same_signature():
+    policy, _ = _llc()
+    assert policy._signature(0) == policy._signature(16 * 1024 - 64)

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.llc import LLC
+from repro.config import CacheParams, KB, LLCConfig
+from repro.core.base import NEVER
+from repro.core.registry import make_policy
+from repro.sim.future import next_use_indices
+from repro.sim.offline import simulate_trace
+from repro.streams import Stream
+from repro.trace.record import Trace
+from repro.utils.counters import SaturatingCounter
+
+# -- strategies -----------------------------------------------------------------
+
+small_traces = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=63),     # block
+        st.integers(min_value=0, max_value=7),      # stream
+        st.booleans(),                              # write
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _trace_from(entries) -> Trace:
+    addresses = np.array([b * 64 for b, _, _ in entries], dtype=np.uint64)
+    streams = np.array([s for _, s, _ in entries], dtype=np.uint8)
+    writes = np.array([w for _, _, w in entries], dtype=bool)
+    return Trace(addresses, streams, writes, {"name": "hyp"})
+
+
+TINY = LLCConfig(params=CacheParams(2 * KB, ways=2), banks=1, sample_period=4)
+
+ALL_POLICIES = (
+    "lru", "nru", "srrip", "brrip", "drrip", "gs-drrip", "ship-mem",
+    "gspztc", "gspztc+tse", "gspc",
+)
+
+
+# -- counters -----------------------------------------------------------------
+
+@given(
+    bits=st.integers(min_value=1, max_value=8),
+    operations=st.lists(st.sampled_from(["inc", "dec", "halve"]), max_size=60),
+)
+def test_counter_always_in_range(bits, operations):
+    counter = SaturatingCounter(bits)
+    for operation in operations:
+        if operation == "inc":
+            counter.increment()
+        elif operation == "dec":
+            counter.decrement()
+        else:
+            counter.halve()
+        assert 0 <= counter.value <= counter.max_value
+
+
+# -- next-use ---------------------------------------------------------------------
+
+@given(blocks=st.lists(st.integers(min_value=0, max_value=15), max_size=120))
+def test_next_use_pointers_consistent(blocks):
+    array = np.array(blocks, dtype=np.uint64)
+    next_uses = next_use_indices(array)
+    for i, nxt in enumerate(next_uses.tolist()):
+        if nxt == NEVER:
+            assert all(b != blocks[i] for b in blocks[i + 1 :])
+        else:
+            assert blocks[nxt] == blocks[i]
+            assert all(b != blocks[i] for b in blocks[i + 1 : nxt])
+
+
+# -- cache invariants ------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(entries=small_traces, policy=st.sampled_from(ALL_POLICIES))
+def test_accounting_identities(entries, policy):
+    trace = _trace_from(entries)
+    result = simulate_trace(trace, policy, TINY)
+    stats = result.stats
+    assert stats.hits + stats.misses + stats.bypasses == len(trace)
+    assert stats.fills == stats.misses           # no-bypass policies fill
+    assert stats.writebacks <= stats.evictions
+    assert stats.evictions <= stats.misses
+    assert stats.rt_consumed <= stats.rt_produced
+    assert stats.dram_reads == stats.misses
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=small_traces, policy=st.sampled_from(ALL_POLICIES))
+def test_residency_never_exceeds_capacity(entries, policy):
+    geometry = CacheGeometry(num_sets=8, ways=2, sample_period=4)
+    llc = LLC(geometry, make_policy(policy))
+    for block, stream, write in entries:
+        llc.access(block * 64, stream, write)
+        assert llc.resident_blocks() <= geometry.num_sets * geometry.ways
+    # Every resident lookup entry is unique and consistent.
+    for block, _, _ in entries[-8:]:
+        way = llc.way_of(block * 64)
+        if way is not None:
+            assert 0 <= way < geometry.ways
+
+
+@settings(max_examples=25, deadline=None)
+@given(entries=small_traces)
+def test_most_recent_block_is_resident(entries):
+    """After any access sequence the last-touched block must be cached
+    (the LLC is non-bypassing for cached streams)."""
+    llc = LLC(CacheGeometry(num_sets=4, ways=2), make_policy("gspc"))
+    for block, stream, write in entries:
+        llc.access(block * 64, stream, write)
+        assert llc.contains(block * 64)
+
+
+# -- Belady optimality ----------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(entries=small_traces, policy=st.sampled_from(ALL_POLICIES))
+def test_belady_is_lower_bound(entries, policy):
+    """On any trace, OPT must not miss more than any online policy."""
+    trace = _trace_from(entries)
+    opt = simulate_trace(trace, "belady", TINY).misses
+    online = simulate_trace(trace, policy, TINY).misses
+    assert opt <= online
+
+
+@settings(max_examples=20, deadline=None)
+@given(entries=small_traces)
+def test_determinism(entries):
+    trace = _trace_from(entries)
+    a = simulate_trace(trace, "gspc+ucd", TINY)
+    b = simulate_trace(trace, "gspc+ucd", TINY)
+    assert a.stats.snapshot() == b.stats.snapshot()
+
+
+# -- UCD property -----------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(entries=small_traces)
+def test_ucd_never_caches_display(entries):
+    trace = _trace_from(entries)
+    llc_stats = simulate_trace(trace, "drrip+ucd", TINY).stats
+    display = llc_stats.per_stream[Stream.DISPLAY]
+    assert display.hits == 0 and display.misses == 0
+    display_count = sum(1 for _, s, _ in entries if s == int(Stream.DISPLAY))
+    assert display.bypasses == display_count
+
+
+# -- command-stream round trips -----------------------------------------------
+
+command_draws = st.lists(
+    st.tuples(
+        st.integers(0, 15), st.integers(0, 15),   # x0, y0
+        st.integers(1, 16), st.integers(1, 16),   # width, height
+        st.floats(0.1, 1.0),                      # coverage
+        st.booleans(),                            # blend
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(draws=command_draws)
+def test_command_list_json_round_trip(draws):
+    from repro.workloads.commands import CommandList, capture_commands
+    from repro.workloads.passes import DrawCall, RenderPass
+    from repro.workloads.surfaces import AddressSpace, allocate_surface
+
+    space = AddressSpace()
+    color = allocate_surface(space, "color", 64, 64)
+    render_pass = RenderPass(
+        "p",
+        color,
+        draws=tuple(
+            DrawCall(
+                region=(x0, y0, x0 + w, y0 + h),
+                coverage=coverage,
+                blend=blend,
+            )
+            for x0, y0, w, h, coverage, blend in draws
+        ),
+    )
+    captured = capture_commands([render_pass])
+    restored = CommandList.from_json(captured.to_json())
+    assert restored.commands == captured.commands
+    assert restored.surfaces == captured.surfaces

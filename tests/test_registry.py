@@ -1,0 +1,68 @@
+"""Policy registry tests."""
+
+import pytest
+
+from repro.core.registry import available_policies, make_policy, policy_spec
+from repro.errors import PolicyError
+from repro.streams import Stream
+
+
+def test_all_table6_policies_available():
+    names = available_policies()
+    for required in (
+        "drrip",
+        "nru",
+        "ship-mem",
+        "gs-drrip",
+        "gspztc",
+        "gspztc+tse",
+        "gspc",
+    ):
+        assert required in names
+
+
+def test_make_policy_builds_instances():
+    for name in available_policies():
+        policy = make_policy(name)
+        assert policy.name == name
+
+
+def test_ucd_suffix_sets_uncached_display():
+    spec = policy_spec("gspc+ucd")
+    assert spec.uncached_streams == frozenset({Stream.DISPLAY})
+    assert spec.base_name == "gspc"
+    assert spec.name == "gspc+ucd"
+    assert "uncached displayable color" in spec.description
+
+
+def test_plain_name_has_no_uncached_streams():
+    assert policy_spec("gspc").uncached_streams == frozenset()
+
+
+def test_ucd_policy_instance_named_with_suffix():
+    assert policy_spec("drrip+ucd").build().name == "drrip+ucd"
+
+
+def test_case_and_whitespace_insensitive():
+    assert policy_spec("  GSPC+UCD ").base_name == "gspc"
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(PolicyError):
+        policy_spec("clairvoyant")
+
+
+def test_four_bit_variants():
+    assert make_policy("drrip4").max_rrpv == 15
+    assert make_policy("gs-drrip4").max_rrpv == 15
+
+
+def test_every_policy_runs_on_a_trace(small_llc_config):
+    from repro.sim.offline import simulate_trace
+    from repro.trace import synth
+
+    trace = synth.random_trace(length=500, footprint_blocks=256, seed=3)
+    for name in available_policies():
+        result = simulate_trace(trace, name, small_llc_config)
+        assert result.accesses == 500
+        assert result.hits + result.misses == 500

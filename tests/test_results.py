@@ -1,0 +1,71 @@
+"""SimResult and comparison-helper tests."""
+
+import pytest
+
+from repro.cache.stats import LLCStats
+from repro.errors import SimulationError
+from repro.sim.results import (
+    SimResult,
+    average_normalized_misses,
+    geometric_mean,
+    normalized_miss_table,
+)
+from repro.streams import Stream
+
+
+def _result(policy, misses, accesses=100):
+    stats = LLCStats()
+    stats.per_stream[Stream.Z].misses = misses
+    stats.per_stream[Stream.Z].hits = accesses - misses
+    return SimResult(policy=policy, stats=stats, accesses=accesses)
+
+
+def test_normalization():
+    baseline = _result("drrip", 50)
+    better = _result("gspc", 40)
+    assert better.misses_normalized_to(baseline) == pytest.approx(0.8)
+
+
+def test_normalization_rejects_different_traces():
+    with pytest.raises(SimulationError):
+        _result("a", 10, accesses=100).misses_normalized_to(
+            _result("b", 10, accesses=200)
+        )
+
+
+def test_zero_miss_baseline():
+    baseline = _result("drrip", 0)
+    assert _result("x", 0).misses_normalized_to(baseline) == 1.0
+    assert _result("x", 5).misses_normalized_to(baseline) == float("inf")
+
+
+def test_normalized_table():
+    results = {"drrip": _result("drrip", 50), "gspc": _result("gspc", 25)}
+    table = normalized_miss_table(results, "drrip")
+    assert table["gspc"] == pytest.approx(0.5)
+    assert table["drrip"] == 1.0
+
+
+def test_normalized_table_missing_baseline():
+    with pytest.raises(SimulationError):
+        normalized_miss_table({"gspc": _result("gspc", 1)}, "drrip")
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(SimulationError):
+        geometric_mean([])
+    with pytest.raises(SimulationError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_average_normalized_misses():
+    frames = [
+        {"drrip": _result("drrip", 50), "gspc": _result("gspc", 25)},
+        {"drrip": _result("drrip", 40), "gspc": _result("gspc", 40)},
+    ]
+    assert average_normalized_misses(frames, "gspc") == pytest.approx(0.75)
+
+
+def test_hit_rate_property():
+    assert _result("x", 25).hit_rate == pytest.approx(0.75)

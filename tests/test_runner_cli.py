@@ -1,0 +1,38 @@
+"""Experiment-runner CLI tests."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig12" in out and "table1" in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "Available experiments" in capsys.readouterr().out
+
+
+def test_run_table1_with_csv(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["table1", "--no-cache", "--csv", "out"]) == 0
+    out = capsys.readouterr().out
+    assert "Details of the DirectX applications" in out
+    assert os.path.exists(tmp_path / "out" / "table1_0.csv")
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.frames_per_app == 1
+    assert not args.full
+    assert args.scale == pytest.approx(0.125)
+
+
+def test_parser_full_flag():
+    args = build_parser().parse_args(["fig01", "--full"])
+    assert args.full and args.experiments == ["fig01"]

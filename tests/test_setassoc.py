@@ -1,0 +1,98 @@
+"""Generic LRU set-associative cache tests (render caches)."""
+
+from repro.cache.setassoc import LRUCache
+from repro.config import CacheParams
+
+
+def _cache(capacity=1024, ways=4):
+    return LRUCache(CacheParams(capacity, ways=ways), "test")
+
+
+def test_miss_then_hit():
+    cache = _cache()
+    hit, _ = cache.access(0)
+    assert not hit
+    hit, _ = cache.access(0)
+    assert hit
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_same_block_different_offsets_hit():
+    cache = _cache()
+    cache.access(0)
+    hit, _ = cache.access(63)
+    assert hit
+
+
+def test_lru_eviction_order():
+    cache = _cache(capacity=4 * 64, ways=4)  # one set, 4 ways
+    for block in range(4):
+        cache.access(block * 64)
+    cache.access(0)            # touch block 0 -> block 1 becomes LRU
+    cache.access(4 * 64)       # evicts block 1
+    hit, _ = cache.access(0)
+    assert hit
+    hit, _ = cache.access(64)
+    assert not hit             # block 1 was evicted
+
+
+def test_dirty_eviction_reports_writeback_address():
+    cache = _cache(capacity=2 * 64, ways=2)  # one set, 2 ways
+    cache.access(0, is_write=True)
+    cache.access(64)
+    _, writeback = cache.access(128)  # evicts dirty block 0
+    assert writeback == 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_reports_none():
+    cache = _cache(capacity=2 * 64, ways=2)
+    cache.access(0)
+    cache.access(64)
+    _, writeback = cache.access(128)
+    assert writeback is None
+
+
+def test_write_hit_marks_dirty():
+    cache = _cache(capacity=2 * 64, ways=2)
+    cache.access(0)                 # clean fill
+    cache.access(0, is_write=True)  # dirtied on hit
+    cache.access(64)
+    _, writeback = cache.access(128)
+    assert writeback == 0
+
+
+def test_sets_are_independent():
+    cache = _cache(capacity=4 * 64, ways=2)  # 2 sets
+    cache.access(0)       # set 0
+    cache.access(64)      # set 1
+    cache.access(128)     # set 0
+    cache.access(256)     # set 0 -> evicts block 0 (LRU in set 0)
+    assert cache.contains(64)
+    assert not cache.contains(0)
+
+
+def test_contains_does_not_touch_lru():
+    cache = _cache(capacity=2 * 64, ways=2)
+    cache.access(0)
+    cache.access(64)
+    cache.contains(0)      # must NOT refresh block 0
+    cache.access(128)      # evicts true LRU: block 0
+    assert not cache.contains(0)
+
+
+def test_flush_counts_dirty_blocks():
+    cache = _cache()
+    cache.access(0, is_write=True)
+    cache.access(64)
+    assert cache.flush() == 1
+    assert not cache.contains(0)
+
+
+def test_hit_rate():
+    cache = _cache()
+    cache.access(0)
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.hit_rate == 2 / 3

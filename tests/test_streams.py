@@ -1,0 +1,43 @@
+"""Stream taxonomy tests."""
+
+import pytest
+
+from repro.streams import (
+    ALL_STREAM_CLASSES,
+    ALL_STREAMS,
+    STREAM_CLASS_TABLE,
+    Stream,
+    StreamClass,
+    stream_class,
+)
+
+
+def test_eight_streams_four_classes():
+    assert len(ALL_STREAMS) == 8
+    assert len(ALL_STREAM_CLASSES) == 4
+
+
+def test_policy_class_mapping_matches_paper():
+    # Section 3: Z, texture sampler, render targets, and the rest.
+    assert stream_class(Stream.Z) is StreamClass.Z
+    assert stream_class(Stream.TEXTURE) is StreamClass.TEX
+    assert stream_class(Stream.RT) is StreamClass.RT
+    # "Displayable color is a render target" (Section 5.1).
+    assert stream_class(Stream.DISPLAY) is StreamClass.RT
+    for other in (Stream.VERTEX, Stream.HIZ, Stream.STENCIL, Stream.OTHER):
+        assert stream_class(other) is StreamClass.OTHER
+
+
+def test_dense_table_agrees_with_mapping():
+    for stream in ALL_STREAMS:
+        assert STREAM_CLASS_TABLE[int(stream)] == int(stream_class(stream))
+
+
+def test_short_names_unique():
+    names = [stream.short_name for stream in ALL_STREAMS]
+    assert len(set(names)) == len(names)
+
+
+@pytest.mark.parametrize("stream", list(Stream))
+def test_stream_values_are_dense(stream):
+    assert 0 <= int(stream) < len(Stream)

@@ -1,0 +1,117 @@
+"""Surface and address-space tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.surfaces import (
+    BLOCK_BYTES,
+    PAGE_BYTES,
+    AddressSpace,
+    MipmappedTexture,
+    Surface,
+    allocate_surface,
+    allocate_texture,
+)
+
+
+class TestAddressSpace:
+    def test_allocations_are_disjoint(self):
+        space = AddressSpace()
+        a = space.allocate(1000)
+        b = space.allocate(1000)
+        assert b >= a + 1000
+
+    def test_page_alignment(self):
+        space = AddressSpace()
+        space.allocate(1)
+        assert space.allocate(1) % PAGE_BYTES == 0
+
+    def test_rejects_empty_allocation(self):
+        with pytest.raises(WorkloadError):
+            AddressSpace().allocate(0)
+
+
+class TestSurface:
+    def test_tile_counts_32bpp(self):
+        surface = Surface("s", 0, 64, 32, tile_px=4)
+        assert surface.tiles_x == 16
+        assert surface.tiles_y == 8
+        assert surface.num_blocks == 128
+        assert surface.size_bytes == 128 * BLOCK_BYTES
+
+    def test_stencil_tiling_8px(self):
+        surface = Surface("stc", 0, 64, 64, tile_px=8)
+        assert surface.num_blocks == 64
+
+    def test_block_address_row_major(self):
+        surface = Surface("s", 1 << 20, 64, 32)
+        assert surface.block_address(0, 0) == 1 << 20
+        assert surface.block_address(1, 0) == (1 << 20) + 64
+        assert surface.block_address(0, 1) == (1 << 20) + 16 * 64
+
+    def test_block_address_bounds_checked(self):
+        surface = Surface("s", 0, 16, 16)
+        with pytest.raises(WorkloadError):
+            surface.block_address(4, 0)
+
+    def test_vectorized_matches_scalar(self):
+        surface = Surface("s", 4096, 64, 32)
+        xs = np.array([0, 3, 15])
+        ys = np.array([0, 2, 7])
+        expected = [surface.block_address(x, y) for x, y in zip(xs, ys)]
+        assert surface.block_addresses(xs, ys).tolist() == expected
+
+    def test_vectorized_clips_out_of_range(self):
+        surface = Surface("s", 0, 16, 16)
+        addresses = surface.block_addresses(np.array([99]), np.array([-5]))
+        assert surface.contains(int(addresses[0]))
+
+    def test_linear_blocks_wrap(self):
+        surface = Surface("s", 0, 16, 16)  # 16 blocks
+        addresses = surface.linear_blocks(14, 4)
+        blocks = [(a - surface.base) // BLOCK_BYTES for a in addresses.tolist()]
+        assert blocks == [14, 15, 0, 1]
+
+    def test_contains(self):
+        surface = Surface("s", 4096, 16, 16)
+        assert surface.contains(4096)
+        assert not surface.contains(4095)
+
+    def test_empty_extent_rejected(self):
+        with pytest.raises(WorkloadError):
+            Surface("s", 0, 0, 16)
+
+
+class TestTextures:
+    def test_mip_chain_halves(self):
+        space = AddressSpace()
+        texture = allocate_texture(space, "t", 64, 64)
+        sizes = [level.width_px for level in texture.levels]
+        assert sizes == [64, 32, 16, 8, 4]
+
+    def test_level_clamping(self):
+        space = AddressSpace()
+        texture = allocate_texture(space, "t", 32, 32)
+        assert texture.level(-1) is texture.levels[0]
+        assert texture.level(99) is texture.levels[-1]
+
+    def test_levels_disjoint(self):
+        space = AddressSpace()
+        texture = allocate_texture(space, "t", 64, 64)
+        ranges = [
+            (level.base, level.base + level.size_bytes)
+            for level in texture.levels
+        ]
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 <= b0 or b1 <= a0
+
+    def test_total_blocks(self):
+        space = AddressSpace()
+        texture = allocate_texture(space, "t", 16, 16)
+        assert texture.total_blocks == sum(l.num_blocks for l in texture.levels)
+
+    def test_allocate_surface_sets_base(self):
+        space = AddressSpace()
+        surface = allocate_surface(space, "s", 32, 32)
+        assert surface.base >= 1 << 32

@@ -1,0 +1,68 @@
+"""Trace persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.streams import Stream
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import TraceBuilder
+
+
+def _sample_trace():
+    builder = TraceBuilder({"name": "io-test", "frame": 3, "scale": 0.125})
+    for index in range(500):
+        builder.append(index * 64, Stream(index % 8), index % 3 == 0)
+    return builder.build()
+
+
+def test_round_trip(tmp_path):
+    trace = _sample_trace()
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+    assert np.array_equal(loaded.addresses, trace.addresses)
+    assert np.array_equal(loaded.streams, trace.streams)
+    assert np.array_equal(loaded.writes, trace.writes)
+    assert loaded.meta == trace.meta
+
+
+def test_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "trace.npz"
+    save_trace(_sample_trace(), path)
+    assert path.exists()
+
+
+def test_missing_file_raises_trace_error(tmp_path):
+    with pytest.raises(TraceError):
+        load_trace(tmp_path / "nope.npz")
+
+
+def test_corrupt_file_raises_trace_error(tmp_path):
+    path = tmp_path / "bad.npz"
+    path.write_bytes(b"this is not a numpy archive")
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "old.npz"
+    trace = _sample_trace()
+    np.savez_compressed(
+        path,
+        version=np.int64(999),
+        addresses=trace.addresses,
+        streams=trace.streams,
+        writes=trace.writes,
+        meta=np.frombuffer(b"{}", dtype=np.uint8),
+    )
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_empty_trace_round_trip(tmp_path):
+    trace = TraceBuilder({"name": "empty"}).build()
+    path = tmp_path / "empty.npz"
+    save_trace(trace, path)
+    assert len(load_trace(path)) == 0

@@ -1,0 +1,49 @@
+"""Trace statistics tests."""
+
+from repro.streams import Stream
+from repro.trace.stats import compute_trace_stats
+from repro.trace.record import TraceBuilder
+
+from helpers import make_trace
+
+
+def test_counts_and_mix():
+    trace = make_trace(
+        [(0, Stream.Z), (1, Stream.Z), (2, Stream.RT), (3, Stream.TEXTURE)]
+    )
+    stats = compute_trace_stats(trace)
+    assert stats.accesses == 4
+    assert stats.stream_counts[Stream.Z] == 2
+    assert stats.stream_fraction(Stream.Z) == 0.5
+    assert stats.stream_fraction(Stream.RT) == 0.25
+    mix = stats.mix()
+    assert sum(mix.values()) == 1.0
+
+
+def test_footprint_deduplicates_blocks():
+    trace = make_trace([(0, Stream.Z), (0, Stream.Z), (1, Stream.Z)])
+    stats = compute_trace_stats(trace)
+    assert stats.footprint_blocks == 2
+    assert stats.stream_footprint_blocks[Stream.Z] == 2
+    assert stats.footprint_bytes == 128
+
+
+def test_footprint_across_streams_shares_blocks():
+    # A block written as RT then read as TEX counts once overall.
+    trace = make_trace([(7, Stream.RT, True), (7, Stream.TEXTURE)])
+    stats = compute_trace_stats(trace)
+    assert stats.footprint_blocks == 1
+    assert stats.stream_footprint_blocks[Stream.RT] == 1
+    assert stats.stream_footprint_blocks[Stream.TEXTURE] == 1
+
+
+def test_write_count():
+    trace = make_trace([(0, Stream.RT, True), (1, Stream.RT), (2, Stream.Z, True)])
+    assert compute_trace_stats(trace).writes == 2
+
+
+def test_empty_trace():
+    stats = compute_trace_stats(TraceBuilder().build())
+    assert stats.accesses == 0
+    assert stats.footprint_blocks == 0
+    assert stats.stream_fraction(Stream.Z) == 0.0

@@ -1,0 +1,75 @@
+"""Synthetic test-trace generator tests."""
+
+import numpy as np
+
+from repro.streams import Stream
+from repro.trace import synth
+from repro.trace.stats import compute_trace_stats
+
+
+def test_cyclic_scan_length_and_footprint():
+    trace = synth.cyclic_scan(num_blocks=32, repetitions=3)
+    assert len(trace) == 96
+    assert compute_trace_stats(trace).footprint_blocks == 32
+
+
+def test_cyclic_scan_repeats_same_blocks():
+    trace = synth.cyclic_scan(num_blocks=8, repetitions=2)
+    blocks = trace.block_addresses()
+    assert np.array_equal(blocks[:8], blocks[8:])
+
+
+def test_scan_with_working_set_streams_disjoint():
+    trace = synth.scan_with_working_set(
+        working_blocks=16, scan_blocks=64, rounds=2
+    )
+    blocks = trace.block_addresses()
+    working = set(blocks[trace.stream_mask(Stream.Z)].tolist())
+    scan = set(blocks[trace.stream_mask(Stream.TEXTURE)].tolist())
+    assert not working & scan
+
+
+def test_scan_blocks_are_single_use():
+    trace = synth.scan_with_working_set(
+        working_blocks=4, scan_blocks=32, rounds=3
+    )
+    scan_blocks = trace.block_addresses()[trace.stream_mask(Stream.TEXTURE)]
+    unique, counts = np.unique(scan_blocks, return_counts=True)
+    assert counts.max() == 1
+
+
+def test_producer_consumer_consumes_produced_blocks():
+    trace = synth.producer_consumer(num_blocks=32, rounds=2, consume_fraction=0.5)
+    blocks = trace.block_addresses()
+    produced = set(blocks[trace.stream_mask(Stream.RT)].tolist())
+    consumed = set(blocks[trace.stream_mask(Stream.TEXTURE)].tolist())
+    assert consumed <= produced
+    # Each round consumes half of the produced blocks (a fresh subset).
+    assert int(trace.stream_mask(Stream.TEXTURE).sum()) == 32
+
+
+def test_producer_consumer_rt_accesses_are_writes():
+    trace = synth.producer_consumer(num_blocks=8, rounds=1)
+    rt_mask = trace.stream_mask(Stream.RT)
+    assert trace.writes[rt_mask].all()
+
+
+def test_interleaved_streams_round_robin():
+    trace = synth.interleaved_streams(per_stream_blocks=4, rounds=2)
+    streams = trace.streams[:12].tolist()
+    assert streams == [int(Stream.Z)] * 4 + [int(Stream.RT)] * 4 + [
+        int(Stream.TEXTURE)
+    ] * 4
+
+
+def test_random_trace_is_seed_deterministic():
+    a = synth.random_trace(length=100, footprint_blocks=50, seed=7)
+    b = synth.random_trace(length=100, footprint_blocks=50, seed=7)
+    assert np.array_equal(a.addresses, b.addresses)
+    c = synth.random_trace(length=100, footprint_blocks=50, seed=8)
+    assert not np.array_equal(a.addresses, c.addresses)
+
+
+def test_random_trace_footprint_bound():
+    trace = synth.random_trace(length=1000, footprint_blocks=10, seed=1)
+    assert compute_trace_stats(trace).footprint_blocks <= 10
