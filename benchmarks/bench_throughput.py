@@ -28,6 +28,23 @@ def test_policy_throughput(benchmark, mixed_trace, policy):
     assert result.accesses == len(mixed_trace)
 
 
+@pytest.mark.parametrize("observer", ["off", "sampling"])
+def test_observer_overhead(benchmark, mixed_trace, observer):
+    """Replay throughput with and without the sampling event observer.
+
+    Compare the two rows to measure the observer tax (target: < 5%
+    replay-throughput regression, so telemetry can stay on by default).
+    """
+    from repro.obs.events import SamplingObserver
+
+    def run():
+        obs = SamplingObserver() if observer == "sampling" else None
+        return simulate_trace(mixed_trace, "drrip", LLC, observer=obs)
+
+    result = benchmark(run)
+    assert result.accesses == len(mixed_trace)
+
+
 def test_next_use_precompute_throughput(benchmark, mixed_trace):
     blocks = mixed_trace.block_addresses()
     benchmark(next_use_indices, blocks)

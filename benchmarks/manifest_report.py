@@ -1,0 +1,127 @@
+"""Summarize run manifests into a perf-trajectory table.
+
+Turns the JSON manifests emitted by ``gspc-sim --metrics-out`` /
+``gspc-experiments --metrics-out`` into one aligned table (or CSV), so
+comparing runs over time is a matter of diffing data, not stdout::
+
+    python benchmarks/manifest_report.py out/
+    python benchmarks/manifest_report.py out/*.json --csv > trajectory.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.errors import ObservabilityError  # noqa: E402
+from repro.obs.manifest import load_manifest, validate_manifest  # noqa: E402
+
+
+def _collect(paths: List[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".json")
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def _row(path: str, manifest: Dict[str, object]) -> Dict[str, object]:
+    kind = manifest.get("kind", "?")
+    phases = manifest.get("phases", {}) or {}
+    replay = float(phases.get("replay_seconds", 0.0) or 0.0)
+    if kind == "experiment":
+        label = manifest.get("experiment", {}).get("id", "?")
+        accesses = misses = None
+        hit_rate = None
+    else:
+        label = f"{manifest.get('trace', {}).get('name', '?')}/{manifest.get('policy', '?')}"
+        metrics = manifest.get("metrics", {}) or {}
+        accesses = metrics.get("accesses")
+        misses = metrics.get("misses")
+        hit_rate = metrics.get("hit_rate")
+    throughput = (
+        accesses / replay if accesses and replay > 0 else None
+    )
+    return {
+        "file": os.path.basename(path),
+        "kind": kind,
+        "run": label,
+        "accesses": accesses,
+        "misses": misses,
+        "hit_rate": hit_rate,
+        "setup_s": phases.get("setup_seconds"),
+        "replay_s": phases.get("replay_seconds"),
+        "acc_per_s": throughput,
+    }
+
+
+_COLUMNS = (
+    "file", "kind", "run", "accesses", "misses",
+    "hit_rate", "setup_s", "replay_s", "acc_per_s",
+)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Tabulate run manifests (files or directories)."
+    )
+    parser.add_argument("paths", nargs="+", help="manifest files or dirs")
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+    args = parser.parse_args(argv)
+
+    rows: List[Dict[str, object]] = []
+    failures = 0
+    for path in _collect(args.paths):
+        try:
+            manifest = load_manifest(path)
+        except ObservabilityError as exc:
+            failures += 1
+            print(f"invalid manifest {path}: {exc}", file=sys.stderr)
+            continue
+        problems = validate_manifest(manifest)
+        if problems:
+            failures += 1
+            print(f"invalid manifest {path}: {problems[0]}", file=sys.stderr)
+            continue
+        rows.append(_row(path, manifest))
+
+    if args.csv:
+        print(",".join(_COLUMNS))
+        for row in rows:
+            print(",".join(_fmt(row[c]) for c in _COLUMNS))
+    else:
+        cells = [[_fmt(row[c]) for c in _COLUMNS] for row in rows]
+        widths = [
+            max([len(c)] + [len(line[i]) for line in cells])
+            for i, c in enumerate(_COLUMNS)
+        ]
+        print("  ".join(c.ljust(w) for c, w in zip(_COLUMNS, widths)))
+        for line in cells:
+            print("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,20 @@ _RT_CLASS = int(StreamClass.RT)
 
 
 class LLCObserver:
-    """Event sink for characterization tools (all hooks optional)."""
+    """Event sink for characterization tools (all hooks optional).
+
+    An observer may expose an ``engine_sample_period`` attribute (int,
+    default 1).  With period ``N > 1`` the engine forwards only the
+    events of every ``N``-th access — all of that access's events
+    together (a miss's fill and evict stay paired) — skipping the hook
+    dispatch entirely for the rest, so sampling observers cost almost
+    nothing in the hot path.  Observers that need the full event stream
+    (e.g. the epoch tracker) simply omit the attribute.
+    """
+
+    # Empty slots so subclasses may opt into __slots__ for cheap
+    # attribute access in the per-event hooks.
+    __slots__ = ()
 
     def on_hit(self, ctx: AccessContext, slot: int, was_rt: bool) -> None:
         """A hit on block slot ``slot``; ``was_rt`` is the engine RT bit
@@ -63,6 +76,21 @@ class LLC:
         policy.bind(geometry)
         self.stats = LLCStats()
         self.observer = observer
+        # Pre-bound hook methods: one attribute load per event instead
+        # of an observer lookup plus a method lookup in the hot path.
+        self._on_hit = observer.on_hit if observer is not None else None
+        self._on_fill = observer.on_fill if observer is not None else None
+        self._on_evict = observer.on_evict if observer is not None else None
+        # Observer decimation (see LLCObserver): period 0 = no observer,
+        # 1 = every access forwarded, N = every N-th access forwarded.
+        self._obs_period = (
+            max(1, int(getattr(observer, "engine_sample_period", 1)))
+            if observer is not None
+            else 0
+        )
+        self._obs_countdown = 1
+        #: Whether the current access's events reach the observer.
+        self._obs_live = self._obs_period == 1
         #: Optional callable(byte_address) invoked for every dirty
         #: eviction — lets timing models see real write-back addresses.
         self.writeback_sink = writeback_sink
@@ -113,6 +141,14 @@ class LLC:
         ctx.is_write = is_write
         ctx.next_use = next_use
 
+        if self._obs_period > 1:
+            self._obs_countdown -= 1
+            if not self._obs_countdown:
+                self._obs_countdown = self._obs_period
+                self._obs_live = True
+            else:
+                self._obs_live = False
+
         per_stream = self._per_stream[stream_int]
 
         if stream_int in self._uncached:
@@ -161,8 +197,8 @@ class LLC:
         if ctx.is_write:
             self._dirty[slot] = True
         self._stream[slot] = ctx.stream
-        if self.observer is not None:
-            self.observer.on_hit(ctx, slot, was_rt)
+        if self._obs_live:
+            self._on_hit(ctx, slot, was_rt)
         self.policy.on_hit(ctx, way)
 
     def _fill(self, ctx: AccessContext) -> None:
@@ -185,8 +221,8 @@ class LLC:
         self._rt_flag[slot] = is_rt
         if is_rt:
             stats.rt_produced += 1
-        if self.observer is not None:
-            self.observer.on_fill(ctx, slot)
+        if self._obs_live:
+            self._on_fill(ctx, slot)
         self.policy.on_fill(ctx, way)
 
     def _evict(self, ctx: AccessContext, set_index: int, way: int) -> None:
@@ -198,8 +234,8 @@ class LLC:
             stats.dram_writes += 1
             if self.writeback_sink is not None:
                 self.writeback_sink(self._tag[slot] << self.geometry.block_bits)
-        if self.observer is not None:
-            self.observer.on_evict(ctx, slot)
+        if self._obs_live:
+            self._on_evict(ctx, slot)
         self.policy.on_evict(ctx, way)
         self._rt_flag[slot] = False
         del self._lookup[set_index][self._tag[slot]]

@@ -10,11 +10,14 @@ Examples::
     gspc-sim --trace frame.npz --policies drrip gspc+ucd --llc-mb 16
     gspc-sim --app HAWX --frame 2 --scale 0.0625 --timing
     gspc-sim --app DMC --save-trace dmc0.npz
+    gspc-sim --app AssnCreed --policies drrip gspc+ucd --metrics-out out/
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import os
 import sys
 from typing import List, Optional
 
@@ -23,6 +26,10 @@ from repro.config import DEFAULT_SCALE, paper_baseline
 from repro.core.registry import available_policies
 from repro.errors import ReproError
 from repro.gpu.timing import FrameTimingSimulator
+from repro.obs import log as obs_log
+from repro.obs.events import SamplingObserver
+from repro.obs.manifest import sim_manifest, timing_manifest, write_manifest
+from repro.obs.spans import SpanRecorder
 from repro.sim.offline import simulate_trace
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import Trace
@@ -57,6 +64,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-policies", action="store_true", help="list known policies"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        help="write one JSON run manifest per policy into DIR",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="logging level (default: $REPRO_LOG_LEVEL or WARNING)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug logging (shorthand for --log-level DEBUG)",
+    )
     return parser
 
 
@@ -74,6 +97,12 @@ def _resolve_trace(args: argparse.Namespace) -> Trace:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        obs_log.configure("DEBUG" if args.verbose else args.log_level)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    logger = obs_log.get_logger("cli")
     if args.list_policies:
         for name in available_policies():
             print(f"{name}  (also {name}+ucd)")
@@ -83,10 +112,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    logger.info(
+        "trace %s ready: %d accesses", trace.meta.get("name", "?"), len(trace)
+    )
     if args.save_trace:
         save_trace(trace, args.save_trace)
         print(f"saved {len(trace):,} accesses to {args.save_trace}")
         return 0
+    if args.metrics_out:
+        # Fail before simulating, not after, if the directory is unusable.
+        try:
+            os.makedirs(args.metrics_out, exist_ok=True)
+        except OSError as exc:
+            print(
+                f"error: cannot create --metrics-out directory "
+                f"{args.metrics_out!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
 
     system = paper_baseline(llc_mb=args.llc_mb, scale=args.scale)
     print(
@@ -99,11 +142,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         ["Policy", "Misses", "vs baseline", "Hit rate", "TEX hit", "RT->TEX"],
     )
     baseline = None
+    #: policy -> (SimResult, SamplingObserver, SpanRecorder) for manifests.
+    telemetry = {}
     try:
         for policy in args.policies:
-            result = simulate_trace(trace, policy, system.llc)
+            observer = SamplingObserver() if args.metrics_out else None
+            spans = SpanRecorder() if args.metrics_out else None
+            result = simulate_trace(
+                trace, policy, system.llc, observer=observer, spans=spans
+            )
+            logger.info(
+                "%s: %d misses, %.0f accesses/s replay",
+                result.policy,
+                result.misses,
+                result.replay_accesses_per_second,
+            )
             if baseline is None:
                 baseline = result
+            if args.metrics_out:
+                telemetry[result.policy] = (result, observer, spans)
             stats = result.stats
             table.add_row(
                 result.policy.upper(),
@@ -118,6 +175,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     print()
     print(table.render())
+    manifest_config = {
+        "llc": dataclasses.asdict(system.llc),
+        "llc_mb": args.llc_mb,
+        "scale": args.scale,
+    }
+    timings = {}
     if args.timing:
         simulator = FrameTimingSimulator(system)
         timing_table = Table(
@@ -128,6 +191,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             timing = simulator.run(trace, policy)
             if base_timing is None:
                 base_timing = timing
+            timings[timing.policy] = timing
             timing_table.add_row(
                 timing.policy.upper(),
                 timing.frame_ns / 1e6,
@@ -136,6 +200,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         print()
         print(timing_table.render())
+    if args.metrics_out:
+        for policy, (result, observer, spans) in telemetry.items():
+            manifest = sim_manifest(
+                result, config=manifest_config, observer=observer, spans=spans
+            )
+            path = write_manifest(manifest, args.metrics_out)
+            print(f"wrote {path}")
+        for policy, timing in timings.items():
+            manifest = timing_manifest(
+                timing, config=manifest_config, trace_meta=trace.meta
+            )
+            path = write_manifest(manifest, args.metrics_out)
+            print(f"wrote {path}")
     return 0
 
 

@@ -43,3 +43,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A synthetic workload description is invalid or cannot be generated."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused (bad metric kind, invalid
+    span nesting, malformed run manifest)."""

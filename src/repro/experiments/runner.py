@@ -17,11 +17,15 @@ import time
 from typing import List, Optional
 
 from repro.config import DEFAULT_SCALE
+from repro.errors import ReproError
 from repro.experiments.common import (
     ExperimentConfig,
     all_experiments,
     get_experiment,
 )
+from repro.obs import log as obs_log
+from repro.obs.manifest import experiment_manifest, write_manifest
+from repro.obs.spans import SpanRecorder
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,18 +63,42 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv", metavar="DIR", help="also write each table as CSV into DIR"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        help="write one JSON run manifest per experiment into DIR",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="logging level (default: $REPRO_LOG_LEVEL or WARNING)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug logging (shorthand for --log-level DEBUG)",
+    )
     return parser
 
 
 def run_experiments(
-    ids: List[str], config: ExperimentConfig, csv_dir: Optional[str] = None
+    ids: List[str],
+    config: ExperimentConfig,
+    csv_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> int:
-    for experiment_id in ids:
+    logger = obs_log.get_logger("experiments")
+    total = len(ids)
+    for position, experiment_id in enumerate(ids, start=1):
         experiment = get_experiment(experiment_id)
-        print(f"\n### {experiment.id}: {experiment.title}")
+        print(f"\n[{position}/{total}] {experiment.id}: {experiment.title}")
         print(f"paper claim: {experiment.paper_claim}")
+        logger.info("starting %s (%d/%d)", experiment.id, position, total)
+        spans = SpanRecorder()
         started = time.perf_counter()
-        tables = experiment.run(config)
+        with spans.span("run"):
+            tables = experiment.run(config)
         elapsed = time.perf_counter() - started
         for table_index, table in enumerate(tables):
             print()
@@ -82,25 +110,62 @@ def run_experiments(
                 )
                 with open(path, "w", encoding="utf-8") as handle:
                     handle.write(table.to_csv())
-        print(f"\n[{experiment.id} completed in {elapsed:.1f}s]")
+        if metrics_dir:
+            manifest = experiment_manifest(
+                experiment.id,
+                experiment.title,
+                config=config,
+                elapsed_seconds=elapsed,
+                tables=tables,
+                spans=spans,
+            )
+            path = write_manifest(manifest, metrics_dir)
+            print(f"wrote {path}")
+        print(f"[{position}/{total}] {experiment.id} completed in {elapsed:.1f}s")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        obs_log.configure("DEBUG" if args.verbose else args.log_level)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     registry = all_experiments()
     if args.list or (not args.experiments and not args.all):
         print("Available experiments:")
         for experiment in sorted(registry.values(), key=lambda e: e.id):
             print(f"  {experiment.id:8s} {experiment.title}")
         return 0
+    ids = sorted(registry) if args.all else args.experiments
+    unknown = [id for id in ids if id.strip().lower() not in registry]
+    if unknown:
+        print(
+            "error: unknown experiment id(s): " + ", ".join(sorted(unknown)),
+            file=sys.stderr,
+        )
+        print(
+            "valid ids: " + ", ".join(sorted(registry)), file=sys.stderr
+        )
+        return 2
+    if args.metrics_out:
+        # Fail before running experiments if the directory is unusable.
+        try:
+            os.makedirs(args.metrics_out, exist_ok=True)
+        except OSError as exc:
+            print(
+                f"error: cannot create --metrics-out directory "
+                f"{args.metrics_out!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     config = ExperimentConfig(
         scale=args.scale,
         frames_per_app=None if args.full else args.frames_per_app,
         cache_dir=None if args.no_cache else ".repro_cache",
     )
-    ids = sorted(registry) if args.all else args.experiments
-    return run_experiments(ids, config, args.csv)
+    return run_experiments(ids, config, args.csv, args.metrics_out)
 
 
 if __name__ == "__main__":

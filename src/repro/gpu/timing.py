@@ -14,6 +14,7 @@ whole windows off the DRAM bound (GSPC's 13% bought 8%).
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Iterable, Optional
 
 from repro.cache.llc import BYPASS, MISS
@@ -22,6 +23,7 @@ from repro.core.base import NEVER
 from repro.gpu.dram import DRAMTimingModel
 from repro.gpu.llc_timing import LLCTimingModel
 from repro.gpu.shader import ShaderModel
+from repro.obs.spans import SpanRecorder
 from repro.sim.offline import PolicyLike, build_llc
 from repro.sim.future import next_use_indices
 from repro.streams import Stream
@@ -46,6 +48,32 @@ class FrameTiming:
     dram_row_hit_rate: float
     #: Linear frame scale the trace was generated at (for FPS correction).
     scale: float = 1.0
+    #: Wall-clock spent preparing the run (array conversion, next-use
+    #: precompute) vs. integrating the windows — mirrors
+    #: :class:`~repro.sim.results.SimResult`.
+    setup_seconds: float = 0.0
+    replay_seconds: float = 0.0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.setup_seconds + self.replay_seconds
+
+    def to_dict(self) -> Dict[str, float]:
+        """Manifest-ready summary of the modeled frame."""
+        return {
+            "policy": self.policy,
+            "frame_ns": self.frame_ns,
+            "compute_ns": self.compute_ns,
+            "dram_ns": self.dram_ns,
+            "llc_ns": self.llc_ns,
+            "exposed_ns": self.exposed_ns,
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "dram_row_hit_rate": self.dram_row_hit_rate,
+            "scale": self.scale,
+            "fps": self.fps,
+            "fps_full_scale": self.fps_full_scale,
+        }
 
     @property
     def fps(self) -> float:
@@ -74,8 +102,15 @@ class FrameTimingSimulator:
     def __init__(self, system: SystemConfig) -> None:
         self.system = system
 
-    def run(self, trace: Trace, policy: PolicyLike) -> FrameTiming:
+    def run(
+        self,
+        trace: Trace,
+        policy: PolicyLike,
+        spans: Optional[SpanRecorder] = None,
+    ) -> FrameTiming:
         system = self.system
+        if spans is None:
+            spans = SpanRecorder()
         dram = DRAMTimingModel(system.dram)
         # Dirty evictions reach DRAM with their true victim addresses,
         # so write traffic participates in row-locality modeling.
@@ -87,15 +122,18 @@ class FrameTimingSimulator:
         shader = ShaderModel(system.gpu)
         llc_timing = LLCTimingModel(system.llc, system.gpu)
 
-        addresses = trace.addresses.tolist()
-        streams = trace.streams.tolist()
-        writes = trace.writes.tolist()
-        if llc.policy.needs_future:
-            next_uses = next_use_indices(
-                trace.block_addresses(system.llc.block_bytes)
-            ).tolist()
-        else:
-            next_uses = None
+        setup_started = time.perf_counter()
+        with spans.span("setup"):
+            addresses = trace.addresses.tolist()
+            streams = trace.streams.tolist()
+            writes = trace.writes.tolist()
+            if llc.policy.needs_future:
+                next_uses = next_use_indices(
+                    trace.block_addresses(system.llc.block_bytes)
+                ).tolist()
+            else:
+                next_uses = None
+        setup_seconds = time.perf_counter() - setup_started
 
         total_ns = 0.0
         compute_total = 0.0
@@ -125,22 +163,25 @@ class FrameTimingSimulator:
             window_misses = 0
             window_lookups = 0
 
-        for index, (address, stream, write) in enumerate(
-            zip(addresses, streams, writes)
-        ):
-            next_use = next_uses[index] if next_uses is not None else NEVER
-            outcome = access(address, stream, write, next_use)
-            window_counts[stream] += 1
-            window_lookups += 1
-            if outcome == MISS:
-                dram.request(address, False)
-                window_misses += 1
-            elif outcome == BYPASS:
-                # Uncached accesses go straight to DRAM (read or write).
-                dram.request(address, write)
-            if (index + 1) % WINDOW_ACCESSES == 0:
-                close_window()
-        close_window()
+        replay_started = time.perf_counter()
+        with spans.span("replay"):
+            for index, (address, stream, write) in enumerate(
+                zip(addresses, streams, writes)
+            ):
+                next_use = next_uses[index] if next_uses is not None else NEVER
+                outcome = access(address, stream, write, next_use)
+                window_counts[stream] += 1
+                window_lookups += 1
+                if outcome == MISS:
+                    dram.request(address, False)
+                    window_misses += 1
+                elif outcome == BYPASS:
+                    # Uncached accesses go straight to DRAM (read or write).
+                    dram.request(address, write)
+                if (index + 1) % WINDOW_ACCESSES == 0:
+                    close_window()
+            close_window()
+        replay_seconds = time.perf_counter() - replay_started
 
         return FrameTiming(
             policy=llc.policy.name,
@@ -153,6 +194,8 @@ class FrameTimingSimulator:
             misses=llc.stats.misses,
             dram_row_hit_rate=dram.row_hit_rate,
             scale=float(trace.meta.get("scale", system.scale or 1.0)),
+            setup_seconds=setup_seconds,
+            replay_seconds=replay_seconds,
         )
 
 

@@ -1,0 +1,63 @@
+"""repro.obs — the observability layer of the simulator.
+
+Four small, dependency-free pieces that every execution path shares:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry` with plain-dict snapshots.
+* :mod:`repro.obs.spans` — nested ``with span("replay")`` timing blocks
+  aggregating into a per-run phase breakdown.
+* :mod:`repro.obs.events` — :class:`~repro.obs.events.SamplingObserver`,
+  an :class:`~repro.cache.llc.LLCObserver` cheap enough to leave on,
+  with per-stream/per-set counts and a sampled event ring.
+* :mod:`repro.obs.manifest` — JSON run manifests (config + trace +
+  metrics + phase timings + event summaries) with a schema validator.
+* :mod:`repro.obs.log` — stdlib logging under the ``repro`` hierarchy,
+  configured from ``--log-level`` / ``$REPRO_LOG_LEVEL``.
+"""
+
+from repro.obs.events import EventRing, SamplingObserver
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    check_manifest,
+    experiment_manifest,
+    load_manifest,
+    manifest_filename,
+    sim_manifest,
+    timing_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.spans import SpanRecorder, default_recorder, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "SpanRecorder",
+    "default_recorder",
+    "span",
+    "EventRing",
+    "SamplingObserver",
+    "configure_logging",
+    "get_logger",
+    "SCHEMA_VERSION",
+    "sim_manifest",
+    "timing_manifest",
+    "experiment_manifest",
+    "manifest_filename",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+    "check_manifest",
+]

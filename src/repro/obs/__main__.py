@@ -1,0 +1,8 @@
+"""``python -m repro.obs FILE...`` — validate run-manifest JSON files."""
+
+import sys
+
+from repro.obs.manifest import main
+
+if __name__ == "__main__":
+    sys.exit(main())

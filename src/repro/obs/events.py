@@ -1,0 +1,184 @@
+"""Event tracing: a sampling :class:`~repro.cache.llc.LLCObserver`.
+
+The observer counts every hit/fill/evict per stream and per set with
+bare list increments (cheap enough to leave on for ordinary runs), and
+additionally records every ``sample_period``-th event into a fixed-size
+ring buffer so a manifest can show *what* the cache was doing around
+any point of the replay without retaining the whole event stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.llc import LLCObserver
+from repro.core.base import AccessContext
+from repro.errors import ObservabilityError
+from repro.streams import Stream
+
+#: Event kinds recorded by the observer.
+HIT, FILL, EVICT = 0, 1, 2
+KIND_NAMES = ("hit", "fill", "evict")
+
+
+class EventRing:
+    """A fixed-capacity overwrite-oldest ring of event tuples."""
+
+    __slots__ = ("capacity", "_slots", "_written")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ObservabilityError(f"ring capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._slots: List[Optional[Tuple[int, int, int, int]]] = [None] * capacity
+        self._written = 0
+
+    def push(self, event: Tuple[int, int, int, int]) -> None:
+        self._slots[self._written % self.capacity] = event
+        self._written += 1
+
+    def __len__(self) -> int:
+        return min(self._written, self.capacity)
+
+    @property
+    def pushed(self) -> int:
+        """Total events ever pushed (>= len once the ring wraps)."""
+        return self._written
+
+    def events(self) -> List[Tuple[int, int, int, int]]:
+        """Retained events, oldest first."""
+        if self._written <= self.capacity:
+            return [e for e in self._slots[: self._written] if e is not None]
+        start = self._written % self.capacity
+        return [
+            e
+            for e in self._slots[start:] + self._slots[:start]
+            if e is not None
+        ]
+
+
+class SamplingObserver(LLCObserver):
+    """Samples hit/fill/evict events per stream and per set.
+
+    The observer declares its ``sample_period`` as the engine-level
+    ``engine_sample_period`` (see :class:`~repro.cache.llc.LLCObserver`),
+    so the LLC dispatches only the events of every ``sample_period``-th
+    access — the hot path pays one countdown decrement per access, no
+    Python call — and this observer records every event it is handed:
+    per-stream and per-set counters plus a detailed event ring.  A
+    sampled miss keeps its fill and evict paired in the ring.  Multiply
+    sampled counts by ``sample_period`` for unbiased estimates
+    (:meth:`summary` pre-computes the total); with ``sample_period=1``
+    every access is forwarded and the per-stream counts match the
+    engine's exact :class:`~repro.cache.stats.LLCStats` — the
+    cross-check the test suite pins.
+    """
+
+    __slots__ = ("sample_period", "engine_sample_period", "ring",
+                 "_streams", "_sets")
+
+    def __init__(
+        self, sample_period: int = 64, ring_capacity: int = 1024
+    ) -> None:
+        if sample_period < 1:
+            raise ObservabilityError(
+                f"sample period must be >= 1: {sample_period}"
+            )
+        self.sample_period = sample_period
+        #: Engine decimation contract (read by the LLC constructor).
+        self.engine_sample_period = sample_period
+        self.ring = EventRing(ring_capacity)
+        num_streams = len(Stream)
+        #: per-kind, per-stream sampled counts: _streams[kind][stream].
+        self._streams = [[0] * num_streams for _ in range(3)]
+        #: set_index -> [sampled hits, fills, evicts]
+        self._sets: Dict[int, List[int]] = {}
+
+    # -- LLCObserver hooks (called only for sampled accesses) -------------
+
+    def on_hit(self, ctx: AccessContext, slot: int, was_rt: bool) -> None:
+        self._record(HIT, ctx)
+
+    def on_fill(self, ctx: AccessContext, slot: int) -> None:
+        self._record(FILL, ctx)
+
+    def on_evict(self, ctx: AccessContext, slot: int) -> None:
+        self._record(EVICT, ctx)
+
+    def _record(self, kind: int, ctx: AccessContext) -> None:
+        self._streams[kind][ctx.stream] += 1
+        set_counts = self._sets.get(ctx.set_index)
+        if set_counts is None:
+            set_counts = self._sets[ctx.set_index] = [0, 0, 0]
+        set_counts[kind] += 1
+        self.ring.push((ctx.index, kind, ctx.stream, ctx.set_index))
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def sampled_events(self) -> int:
+        """Number of events recorded in detail (1 per ``sample_period``)."""
+        return self.ring.pushed
+
+    @property
+    def estimated_events(self) -> int:
+        """Unbiased estimate of total events observed."""
+        return self.ring.pushed * self.sample_period
+
+    def hits_of(self, stream: Stream) -> int:
+        """Sampled hit count for ``stream`` (exact when period is 1)."""
+        return self._streams[HIT][int(stream)]
+
+    def fills_of(self, stream: Stream) -> int:
+        return self._streams[FILL][int(stream)]
+
+    def evictions_of(self, stream: Stream) -> int:
+        return self._streams[EVICT][int(stream)]
+
+    def hot_sets(self, top: int = 8) -> List[Dict[str, int]]:
+        """The ``top`` busiest sets by *sampled* event count."""
+        ranked = sorted(
+            self._sets.items(), key=lambda item: sum(item[1]), reverse=True
+        )
+        return [
+            {
+                "set": set_index,
+                "hits": counts[HIT],
+                "fills": counts[FILL],
+                "evictions": counts[EVICT],
+            }
+            for set_index, counts in ranked[:top]
+        ]
+
+    def summary(self, max_samples: int = 64) -> Dict[str, object]:
+        """Manifest-ready digest of everything observed."""
+        samples = self.ring.events()[-max_samples:]
+        return {
+            "events": self.sampled_events,
+            "events_estimated": self.estimated_events,
+            "sample_period": self.sample_period,
+            "sets_sampled": len(self._sets),
+            "per_stream": {
+                stream.short_name: {
+                    "hits": self._streams[HIT][int(stream)],
+                    "fills": self._streams[FILL][int(stream)],
+                    "evictions": self._streams[EVICT][int(stream)],
+                }
+                for stream in Stream
+            },
+            "hot_sets": self.hot_sets(),
+            "sampled": {
+                "capacity": self.ring.capacity,
+                "recorded": len(self.ring),
+                "pushed": self.ring.pushed,
+                "events": [
+                    {
+                        "access": access_index,
+                        "kind": KIND_NAMES[kind],
+                        "stream": Stream(stream).short_name,
+                        "set": set_index,
+                    }
+                    for access_index, kind, stream, set_index in samples
+                ],
+            },
+        }

@@ -1,0 +1,76 @@
+"""Structured logging for the repro package.
+
+All library loggers hang off the ``"repro"`` root so one call configures
+everything::
+
+    from repro.obs import log
+    log.configure()               # level from REPRO_LOG_LEVEL (default WARNING)
+    logger = log.get_logger("sim")
+    logger.info("replayed %d accesses", n)
+
+The CLIs expose ``--log-level`` (and ``--verbose`` as a DEBUG shortcut);
+the ``REPRO_LOG_LEVEL`` environment variable applies everywhere else.
+Configuration is idempotent — repeated calls adjust the level without
+stacking handlers, and nothing is touched until :func:`configure` runs,
+so embedding applications keep control of the logging tree.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+from repro.errors import ObservabilityError
+
+ROOT_LOGGER_NAME = "repro"
+ENV_VAR = "REPRO_LOG_LEVEL"
+DEFAULT_LEVEL = "WARNING"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Marker attribute identifying the handler installed by configure().
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def resolve_level(level: Optional[str] = None) -> int:
+    """Turn a level name (or None => $REPRO_LOG_LEVEL) into an int."""
+    name = (level or os.environ.get(ENV_VAR) or DEFAULT_LEVEL).strip().upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ObservabilityError(
+            f"unknown log level {name!r} (use DEBUG/INFO/WARNING/ERROR)"
+        )
+    return resolved
+
+
+def configure(level: Optional[str] = None, stream=None) -> logging.Logger:
+    """Install (once) a formatted stderr handler on the ``repro`` logger.
+
+    ``level`` overrides ``$REPRO_LOG_LEVEL``; both default to WARNING.
+    Returns the configured root library logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(resolve_level(level))
+    handler = next(
+        (h for h in root.handlers if getattr(h, _HANDLER_TAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    return root

@@ -1,0 +1,292 @@
+"""Machine-readable run manifests.
+
+Every simulation entry point can emit one JSON *manifest* describing
+what ran and what happened: configuration, policy, trace metadata,
+metric snapshots, the setup/replay phase-timing split, and a sampled
+event-trace summary.  Manifests make the repo's performance trajectory
+data instead of stdout — ``benchmarks/manifest_report.py`` consumes
+them, and CI validates a freshly emitted one against the schema on
+every push (``python -m repro.obs.manifest out/*.json``).
+
+Three manifest kinds share one envelope (``schema_version``, ``kind``,
+``created_unix``, ``config``, ``phases``):
+
+* ``offline-sim`` — one policy replayed over one trace
+  (:func:`sim_manifest`).
+* ``frame-timing`` — the frame-timing model's outcome
+  (:func:`timing_manifest`).
+* ``experiment`` — one registered paper experiment
+  (:func:`experiment_manifest`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import time
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.events import SamplingObserver
+from repro.obs.spans import SpanRecorder
+
+SCHEMA_VERSION = 1
+
+#: Top-level keys every manifest must carry.
+ENVELOPE_KEYS = ("schema_version", "kind", "created_unix", "config", "phases")
+#: Keys the ``phases`` section must carry, all numbers.
+PHASE_KEYS = ("setup_seconds", "replay_seconds", "elapsed_seconds")
+#: Additional required keys per manifest kind.
+KIND_KEYS = {
+    "offline-sim": ("policy", "trace", "metrics", "events"),
+    "frame-timing": ("policy", "trace", "metrics"),
+    "experiment": ("experiment", "metrics"),
+}
+
+
+def _jsonable(value):
+    """Coerce numpy scalars, dataclasses, tuples and sets to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    for caster in (int, float):
+        try:
+            return caster(value)  # numpy integer/floating scalars
+        except (TypeError, ValueError):
+            continue
+    return str(value)
+
+
+def _phases(
+    setup_seconds: float,
+    replay_seconds: float,
+    spans: Optional[SpanRecorder] = None,
+) -> Dict[str, object]:
+    phases: Dict[str, object] = {
+        "setup_seconds": setup_seconds,
+        "replay_seconds": replay_seconds,
+        "elapsed_seconds": setup_seconds + replay_seconds,
+    }
+    if spans is not None:
+        phases["spans"] = spans.flat()
+    return phases
+
+
+def _envelope(kind: str, config, phases: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "created_unix": time.time(),
+        "config": _jsonable(config if config is not None else {}),
+        "phases": phases,
+    }
+
+
+def sim_manifest(
+    result,
+    config=None,
+    observer: Optional[SamplingObserver] = None,
+    spans: Optional[SpanRecorder] = None,
+    extras: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Manifest for one :class:`~repro.sim.results.SimResult`."""
+    manifest = _envelope(
+        "offline-sim",
+        config,
+        _phases(result.setup_seconds, result.replay_seconds, spans),
+    )
+    manifest.update(
+        policy=result.policy,
+        trace={"accesses": result.accesses, **_jsonable(result.trace_meta)},
+        metrics=_jsonable(result.stats.snapshot()),
+        events=observer.summary() if observer is not None else None,
+        extras=_jsonable(dict(result.extras, **(extras or {}))),
+    )
+    return manifest
+
+
+def timing_manifest(
+    timing,
+    config=None,
+    spans: Optional[SpanRecorder] = None,
+    trace_meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Manifest for one :class:`~repro.gpu.timing.FrameTiming`."""
+    manifest = _envelope(
+        "frame-timing",
+        config,
+        _phases(timing.setup_seconds, timing.replay_seconds, spans),
+    )
+    manifest.update(
+        policy=timing.policy,
+        trace={"accesses": timing.accesses, **_jsonable(trace_meta or {})},
+        metrics=_jsonable(timing.to_dict()),
+    )
+    return manifest
+
+
+def experiment_manifest(
+    experiment_id: str,
+    title: str,
+    config=None,
+    elapsed_seconds: float = 0.0,
+    tables: Optional[List] = None,
+    spans: Optional[SpanRecorder] = None,
+) -> Dict[str, object]:
+    """Manifest for one registered experiment run."""
+    manifest = _envelope(
+        "experiment", config, _phases(0.0, elapsed_seconds, spans)
+    )
+    manifest.update(
+        experiment={"id": experiment_id, "title": title},
+        metrics={
+            "tables": [
+                {"title": table.title, "columns": list(table.headers),
+                 "rows": len(table.rows)}
+                for table in (tables or [])
+            ]
+        },
+    )
+    return manifest
+
+
+# -- I/O ---------------------------------------------------------------------
+
+def manifest_filename(manifest: Mapping[str, object]) -> str:
+    """A stable, filesystem-safe name for a manifest."""
+    kind = str(manifest.get("kind", "run"))
+    if kind == "experiment":
+        label = str(manifest.get("experiment", {}).get("id", "unknown"))
+    else:
+        trace = manifest.get("trace") or {}
+        label = f"{trace.get('name', 'trace')}_{manifest.get('policy', '')}"
+    safe = re.sub(r"[^A-Za-z0-9._+-]+", "-", f"{kind}_{label}").strip("-")
+    return f"{safe}.json"
+
+
+def write_manifest(
+    manifest: Mapping[str, object],
+    directory: str,
+    filename: Optional[str] = None,
+) -> str:
+    """Serialize ``manifest`` into ``directory``; returns the path."""
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot create manifest directory {directory!r}: {exc}"
+        ) from exc
+    path = os.path.join(directory, filename or manifest_filename(manifest))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_manifest(path: str) -> Dict[str, object]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObservabilityError(f"cannot load manifest {path}: {exc}") from exc
+
+
+# -- validation --------------------------------------------------------------
+
+def validate_manifest(manifest: Mapping[str, object]) -> List[str]:
+    """Schema-check a manifest; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(manifest, Mapping):
+        return [f"manifest must be an object, got {type(manifest).__name__}"]
+    for key in ENVELOPE_KEYS:
+        if key not in manifest:
+            problems.append(f"missing required key {key!r}")
+    version = manifest.get("schema_version")
+    if version is not None and version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version!r} != supported {SCHEMA_VERSION}"
+        )
+    kind = manifest.get("kind")
+    if kind is not None and kind not in KIND_KEYS:
+        problems.append(
+            f"unknown kind {kind!r}; expected one of {sorted(KIND_KEYS)}"
+        )
+    for key in KIND_KEYS.get(kind, ()):
+        if key not in manifest:
+            problems.append(f"kind {kind!r} requires key {key!r}")
+    phases = manifest.get("phases")
+    if phases is not None:
+        if not isinstance(phases, Mapping):
+            problems.append("'phases' must be an object")
+        else:
+            for key in PHASE_KEYS:
+                value = phases.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(f"phases.{key} must be a number, got {value!r}")
+    metrics = manifest.get("metrics")
+    if kind == "offline-sim" and isinstance(metrics, Mapping):
+        for key in ("accesses", "hits", "misses", "per_stream"):
+            if key not in metrics:
+                problems.append(f"offline-sim metrics missing {key!r}")
+    trace = manifest.get("trace")
+    if kind in ("offline-sim", "frame-timing") and isinstance(trace, Mapping):
+        if "accesses" not in trace:
+            problems.append("trace section missing 'accesses'")
+    events = manifest.get("events")
+    if kind == "offline-sim" and isinstance(events, Mapping):
+        for key in ("events", "sample_period", "per_stream", "sampled"):
+            if key not in events:
+                problems.append(f"events summary missing {key!r}")
+    return problems
+
+
+def check_manifest(manifest: Mapping[str, object]) -> None:
+    """Raise :class:`ObservabilityError` if the manifest is invalid."""
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ObservabilityError(
+            "invalid manifest: " + "; ".join(problems)
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.manifest FILE...`` — validate manifests."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.manifest",
+        description="Validate run-manifest JSON files against the schema.",
+    )
+    parser.add_argument("files", nargs="+", help="manifest JSON paths")
+    args = parser.parse_args(argv)
+    failures = 0
+    for path in args.files:
+        try:
+            manifest = load_manifest(path)
+        except ObservabilityError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        problems = validate_manifest(manifest)
+        if problems:
+            failures += 1
+            print(f"FAIL {path}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+        else:
+            print(f"ok   {path} ({manifest.get('kind')})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

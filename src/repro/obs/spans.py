@@ -1,0 +1,114 @@
+"""Timing spans: nested ``with span("replay")`` blocks that aggregate
+into a per-run phase breakdown.
+
+A :class:`SpanRecorder` keeps a stack of open spans and an aggregate
+table keyed by the span *path* (``("run", "replay")``), so repeated
+entries into the same phase accumulate rather than multiply.  The
+resulting tree — trace generation vs. future precompute vs. replay vs.
+timing model — goes into the run manifest's ``phases`` section.
+
+    recorder = SpanRecorder()
+    with recorder.span("run"):
+        with recorder.span("setup"):
+            ...
+        with recorder.span("replay"):
+            ...
+    recorder.to_dict()
+    # {"run": {"count": 1, "seconds": ..., "children": {"setup": ...}}}
+
+The module-level :func:`span` uses a process-wide default recorder for
+quick scripts; library entry points take an explicit recorder argument.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.errors import ObservabilityError
+
+SpanPath = Tuple[str, ...]
+
+
+class SpanRecorder:
+    """Aggregating recorder of nested timing spans."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._stack: List[str] = []
+        #: path -> [entry count, total seconds]
+        self._aggregate: Dict[SpanPath, List[float]] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a named phase; nests under any currently open span."""
+        if not name or "/" in name:
+            raise ObservabilityError(f"invalid span name {name!r}")
+        self._stack.append(name)
+        path = tuple(self._stack)
+        started = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - started
+            self._stack.pop()
+            entry = self._aggregate.setdefault(path, [0, 0.0])
+            entry[0] += 1
+            entry[1] += elapsed
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of currently open spans."""
+        return len(self._stack)
+
+    def seconds(self, *path: str) -> float:
+        """Total seconds accumulated by the span at ``path`` (0 if never
+        entered)."""
+        return self._aggregate.get(tuple(path), (0, 0.0))[1]
+
+    def count(self, *path: str) -> int:
+        return int(self._aggregate.get(tuple(path), (0, 0.0))[0])
+
+    def flat(self) -> Dict[str, Dict[str, float]]:
+        """``{"run/replay": {"count": n, "seconds": s}}`` for manifests."""
+        return {
+            "/".join(path): {"count": entry[0], "seconds": entry[1]}
+            for path, entry in sorted(self._aggregate.items())
+        }
+
+    def to_dict(self) -> Dict[str, Dict]:
+        """Nested phase tree (children keyed under ``"children"``)."""
+        root: Dict[str, Dict] = {}
+        for path, entry in sorted(self._aggregate.items()):
+            level = root
+            for name in path[:-1]:
+                level = level.setdefault(
+                    name, {"count": 0, "seconds": 0.0, "children": {}}
+                )["children"]
+            node = level.setdefault(
+                path[-1], {"count": 0, "seconds": 0.0, "children": {}}
+            )
+            node["count"] += entry[0]
+            node["seconds"] += entry[1]
+        return root
+
+    def reset(self) -> None:
+        if self._stack:
+            raise ObservabilityError(
+                f"cannot reset with open spans: {'/'.join(self._stack)}"
+            )
+        self._aggregate.clear()
+
+
+#: Process-wide default recorder backing the module-level :func:`span`.
+_DEFAULT = SpanRecorder()
+
+
+def default_recorder() -> SpanRecorder:
+    return _DEFAULT
+
+
+def span(name: str) -> Iterator[None]:
+    """``with span("replay"):`` against the default recorder."""
+    return _DEFAULT.span(name)

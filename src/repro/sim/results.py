@@ -16,7 +16,14 @@ class SimResult:
     policy: str
     stats: LLCStats
     accesses: int
+    #: Wall-clock total (``setup_seconds + replay_seconds``).
     elapsed_seconds: float = 0.0
+    #: Pre-replay work: array conversions and (for Belady) the
+    #: next-use precompute.  Kept separate so policies that need future
+    #: knowledge do not report inflated replay time.
+    setup_seconds: float = 0.0
+    #: Pure replay-loop time; the basis of accesses/second throughput.
+    replay_seconds: float = 0.0
     trace_meta: Mapping[str, object] = dataclasses.field(default_factory=dict)
     #: Policy-specific extras (e.g. DRRIP fill-RRPV fractions, epoch data).
     extras: Dict[str, object] = dataclasses.field(default_factory=dict)
@@ -36,6 +43,13 @@ class SimResult:
     @property
     def workload_name(self) -> str:
         return str(self.trace_meta.get("name", "unknown"))
+
+    @property
+    def replay_accesses_per_second(self) -> float:
+        """Replay-loop throughput (setup excluded)."""
+        if self.replay_seconds <= 0:
+            return 0.0
+        return self.accesses / self.replay_seconds
 
     def misses_normalized_to(self, baseline: "SimResult") -> float:
         """This policy's miss count relative to a baseline run.

@@ -1,5 +1,7 @@
 """gspc-sim CLI tests."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -75,3 +77,20 @@ def test_parser_defaults():
     args = build_parser().parse_args([])
     assert args.policies == ["drrip", "gspc+ucd"]
     assert args.llc_mb == 8
+    assert args.metrics_out is None
+    assert args.log_level is None  # resolved via $REPRO_LOG_LEVEL
+    assert not args.verbose
+
+
+def test_verbose_sets_debug_level(tiny_trace_path):
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "lru", "--verbose"]
+    ) == 0
+    assert logging.getLogger("repro").level == logging.DEBUG
+
+
+def test_bad_log_level_errors(tiny_trace_path, capsys):
+    assert main(
+        ["--trace", tiny_trace_path, "--log-level", "CHATTY"]
+    ) == 1
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,97 @@
+"""Span nesting and aggregation."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import SpanRecorder, default_recorder, span
+
+
+class FakeClock:
+    """Deterministic perf_counter: advances by `step` per reading."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_single_span_times_body():
+    recorder = SpanRecorder(clock=FakeClock(step=1.0))
+    with recorder.span("replay"):
+        pass
+    # Clock read at entry (0.0) and exit (1.0).
+    assert recorder.seconds("replay") == pytest.approx(1.0)
+    assert recorder.count("replay") == 1
+
+
+def test_nesting_builds_paths():
+    recorder = SpanRecorder(clock=FakeClock())
+    with recorder.span("run"):
+        with recorder.span("setup"):
+            pass
+        with recorder.span("replay"):
+            pass
+    flat = recorder.flat()
+    assert set(flat) == {"run", "run/setup", "run/replay"}
+    # Children accumulate under the parent, never as top-level entries.
+    assert recorder.seconds("setup") == 0.0
+    assert recorder.seconds("run", "setup") > 0.0
+
+
+def test_repeated_entry_aggregates():
+    recorder = SpanRecorder(clock=FakeClock(step=0.5))
+    for _ in range(3):
+        with recorder.span("replay"):
+            pass
+    assert recorder.count("replay") == 3
+    assert recorder.seconds("replay") == pytest.approx(1.5)
+
+
+def test_to_dict_tree_shape():
+    recorder = SpanRecorder(clock=FakeClock())
+    with recorder.span("run"):
+        with recorder.span("replay"):
+            pass
+    tree = recorder.to_dict()
+    assert tree["run"]["count"] == 1
+    assert tree["run"]["children"]["replay"]["count"] == 1
+    assert tree["run"]["children"]["replay"]["children"] == {}
+
+
+def test_exception_still_closes_span():
+    recorder = SpanRecorder(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with recorder.span("boom"):
+            raise RuntimeError()
+    assert recorder.depth == 0
+    assert recorder.count("boom") == 1
+
+
+def test_invalid_names_rejected():
+    recorder = SpanRecorder()
+    with pytest.raises(ObservabilityError):
+        with recorder.span(""):
+            pass
+    with pytest.raises(ObservabilityError):
+        with recorder.span("a/b"):
+            pass
+
+
+def test_reset_refuses_open_spans():
+    recorder = SpanRecorder(clock=FakeClock())
+    with recorder.span("open"):
+        with pytest.raises(ObservabilityError):
+            recorder.reset()
+    recorder.reset()
+    assert recorder.flat() == {}
+
+
+def test_module_level_span_uses_default_recorder():
+    before = default_recorder().count("module-span-test")
+    with span("module-span-test"):
+        pass
+    assert default_recorder().count("module-span-test") == before + 1

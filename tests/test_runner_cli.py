@@ -26,6 +26,25 @@ def test_run_table1_with_csv(tmp_path, capsys, monkeypatch):
     assert os.path.exists(tmp_path / "out" / "table1_0.csv")
 
 
+def test_unknown_experiment_exits_2(capsys):
+    assert main(["nonsense", "fig01", "alsobad"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment id(s): alsobad, nonsense" in err
+    assert "valid ids:" in err and "fig01" in err
+
+
+def test_progress_lines_and_manifest(tmp_path, capsys):
+    out_dir = tmp_path / "metrics"
+    assert main(
+        ["table1", "--no-cache", "--metrics-out", str(out_dir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[1/1] table1:" in out
+    assert "completed in" in out
+    files = os.listdir(out_dir)
+    assert len(files) == 1 and files[0].startswith("experiment_table1")
+
+
 def test_parser_defaults():
     args = build_parser().parse_args([])
     assert args.frames_per_app == 1
