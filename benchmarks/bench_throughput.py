@@ -1,4 +1,16 @@
-"""Hot-loop micro-benchmarks: simulator and generator throughput."""
+"""Hot-loop micro-benchmarks: simulator and generator throughput.
+
+Run under pytest-benchmark for the per-policy hot-loop numbers, or as a
+script for the CI benchmark-regression smoke::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --out BENCH_parallel.json
+
+The script mode replays a small trace under a policy roster twice —
+serially and fanned out with :func:`repro.parallel.run_policy_sims` —
+and emits a JSON report with accesses/sec per policy plus the serial vs
+parallel wall times, so CI can track both simulator throughput and the
+``--jobs`` engine's overhead over time.
+"""
 
 import pytest
 
@@ -78,3 +90,83 @@ def test_reuse_distance_throughput(benchmark, mixed_trace):
 
     blocks = mixed_trace.block_addresses().tolist()
     benchmark(reuse_distances, blocks)
+
+
+# -- CI smoke script ----------------------------------------------------------
+
+SMOKE_POLICIES = ("drrip", "nru", "gspc", "gspc+ucd", "belady")
+
+
+def run_smoke(jobs: int = 2, scale: float = 0.0625) -> dict:
+    """Serial vs parallel replay of one small frame; returns the report."""
+    import time
+
+    from repro.config import paper_baseline
+    from repro.parallel import resolve_jobs, run_policy_sims
+    from repro.workloads.apps import ALL_APPS
+    from repro.workloads.framegen import generate_frame_trace
+
+    workers = resolve_jobs(jobs)
+    trace = generate_frame_trace(ALL_APPS[0], 0, scale)
+    llc = paper_baseline(llc_mb=8, scale=scale).llc
+
+    started = time.perf_counter()
+    serial = run_policy_sims(trace, SMOKE_POLICIES, llc, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_policy_sims(trace, SMOKE_POLICIES, llc, workers=workers)
+    parallel_seconds = time.perf_counter() - started
+
+    for (_, a, _, _), (_, b, _, _) in zip(serial, parallel):
+        assert a.stats.snapshot() == b.stats.snapshot(), (
+            f"serial/parallel divergence under {a.policy}"
+        )
+    return {
+        "trace": {"name": trace.meta.get("name"), "accesses": len(trace)},
+        "scale": scale,
+        "workers": workers,
+        "policies": list(SMOKE_POLICIES),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds else 1.0,
+        "accesses_per_second": {
+            name: result.replay_accesses_per_second
+            for name, result, _, _ in serial
+        },
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Benchmark-regression smoke: serial vs parallel replay."
+    )
+    parser.add_argument(
+        "--out", default="BENCH_parallel.json", help="report path"
+    )
+    parser.add_argument("--jobs", type=int, default=2, help="worker count")
+    parser.add_argument(
+        "--scale", type=float, default=0.0625, help="linear frame scale"
+    )
+    args = parser.parse_args(argv)
+    report = run_smoke(jobs=args.jobs, scale=args.scale)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    slowest = min(report["accesses_per_second"].values())
+    print(
+        f"wrote {args.out}: {report['trace']['accesses']:,} accesses, "
+        f"serial {report['serial_seconds']:.2f}s vs parallel "
+        f"{report['parallel_seconds']:.2f}s "
+        f"(x{report['speedup']:.2f}, slowest policy {slowest:,.0f} acc/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -39,6 +39,8 @@ from repro.config import (
 from repro.core import available_policies, make_policy, policy_spec
 from repro.errors import (
     ConfigError,
+    ObservabilityError,
+    ParallelError,
     PolicyError,
     ReproError,
     SimulationError,
@@ -103,4 +105,6 @@ __all__ = [
     "PolicyError",
     "SimulationError",
     "WorkloadError",
+    "ObservabilityError",
+    "ParallelError",
 ]

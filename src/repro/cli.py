@@ -11,6 +11,7 @@ Examples::
     gspc-sim --app HAWX --frame 2 --scale 0.0625 --timing
     gspc-sim --app DMC --save-trace dmc0.npz
     gspc-sim --app AssnCreed --policies drrip gspc+ucd --metrics-out out/
+    gspc-sim --app Heaven --policies drrip nru gspc belady --jobs 4
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import argparse
 import dataclasses
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.tables import Table
@@ -27,10 +29,8 @@ from repro.core.registry import available_policies
 from repro.errors import ReproError
 from repro.gpu.timing import FrameTimingSimulator
 from repro.obs import log as obs_log
-from repro.obs.events import SamplingObserver
 from repro.obs.manifest import sim_manifest, timing_manifest, write_manifest
-from repro.obs.spans import SpanRecorder
-from repro.sim.offline import simulate_trace
+from repro.parallel import resolve_jobs, run_policy_sims
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import Trace
 
@@ -63,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list-policies", action="store_true", help="list known policies"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate policies in N worker processes "
+        "(0 = one per CPU; default: serial)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -103,6 +111,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     logger = obs_log.get_logger("cli")
+    try:
+        workers = resolve_jobs(args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.list_policies:
         for name in available_policies():
             print(f"{name}  (also {name}+ucd)")
@@ -142,37 +155,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         ["Policy", "Misses", "vs baseline", "Hit rate", "TEX hit", "RT->TEX"],
     )
     baseline = None
-    #: policy -> (SimResult, SamplingObserver, SpanRecorder) for manifests.
+    #: policy -> (SimResult, events summary, flat spans) for manifests.
     telemetry = {}
+    if workers > 1:
+        print(f"parallel: {len(args.policies)} policies over {workers} workers")
+    wall_started = time.perf_counter()
     try:
-        for policy in args.policies:
-            observer = SamplingObserver() if args.metrics_out else None
-            spans = SpanRecorder() if args.metrics_out else None
-            result = simulate_trace(
-                trace, policy, system.llc, observer=observer, spans=spans
-            )
-            logger.info(
-                "%s: %d misses, %.0f accesses/s replay",
-                result.policy,
-                result.misses,
-                result.replay_accesses_per_second,
-            )
-            if baseline is None:
-                baseline = result
-            if args.metrics_out:
-                telemetry[result.policy] = (result, observer, spans)
-            stats = result.stats
-            table.add_row(
-                result.policy.upper(),
-                result.misses,
-                result.misses_normalized_to(baseline),
-                stats.hit_rate,
-                stats.tex_hit_rate,
-                stats.rt_consumption_rate,
-            )
+        # Fans out over worker processes when --jobs > 1; results come
+        # back in --policies order either way, so the table (and the
+        # baseline normalization) is identical to a serial run.
+        outcomes = run_policy_sims(
+            trace,
+            args.policies,
+            system.llc,
+            workers,
+            telemetry=bool(args.metrics_out),
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    wall_seconds = time.perf_counter() - wall_started
+    for name, result, events_summary, spans_flat in outcomes:
+        logger.info(
+            "%s: %d misses, %.0f accesses/s replay",
+            result.policy,
+            result.misses,
+            result.replay_accesses_per_second,
+        )
+        if baseline is None:
+            baseline = result
+        if args.metrics_out:
+            telemetry[result.policy] = (result, events_summary, spans_flat)
+        stats = result.stats
+        table.add_row(
+            result.policy.upper(),
+            result.misses,
+            result.misses_normalized_to(baseline),
+            stats.hit_rate,
+            stats.tex_hit_rate,
+            stats.rt_consumption_rate,
+        )
+    parallel_section = None
+    if workers > 1:
+        serial_estimate = sum(
+            result.elapsed_seconds for _, result, _, _ in outcomes
+        )
+        parallel_section = {
+            "workers": workers,
+            "jobs": len(outcomes),
+            "wall_seconds": wall_seconds,
+            "serial_seconds_estimate": serial_estimate,
+            "speedup": (
+                serial_estimate / wall_seconds if wall_seconds > 0 else 1.0
+            ),
+            "per_job": [
+                {"job": f"sim {result.workload_name} {name}",
+                 "seconds": result.elapsed_seconds}
+                for name, result, _, _ in outcomes
+            ],
+        }
     print()
     print(table.render())
     manifest_config = {
@@ -201,9 +242,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(timing_table.render())
     if args.metrics_out:
-        for policy, (result, observer, spans) in telemetry.items():
+        for policy, (result, events_summary, spans_flat) in telemetry.items():
             manifest = sim_manifest(
-                result, config=manifest_config, observer=observer, spans=spans
+                result,
+                config=manifest_config,
+                events_summary=events_summary,
+                spans_flat=spans_flat,
+                parallel=parallel_section,
             )
             path = write_manifest(manifest, args.metrics_out)
             print(f"wrote {path}")

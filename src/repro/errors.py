@@ -48,3 +48,9 @@ class WorkloadError(ReproError):
 class ObservabilityError(ReproError):
     """The observability layer was misused (bad metric kind, invalid
     span nesting, malformed run manifest)."""
+
+
+class ParallelError(ReproError):
+    """The parallel execution engine was misconfigured (invalid worker
+    count, unplannable job, or a worker returned an inconsistent
+    result)."""

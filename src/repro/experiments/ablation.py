@@ -48,6 +48,7 @@ class _TexRRPV2GSPZTC(GSPZTCPolicy):
     "Ablation of GSPC's design ingredients",
     "Each Section-3 refinement contributes; sampled probabilities need "
     "enough sample sets; protected textures must enter at RRPV 0.",
+    sim_policies=("drrip",) + LADDER,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     frames = config.frames()

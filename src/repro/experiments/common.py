@@ -109,6 +109,27 @@ def frame_characterization(
     return _CHAR_CACHE[key]
 
 
+def seed_frame_result(
+    spec: FrameSpec, policy: str, config: ExperimentConfig, result: SimResult
+) -> None:
+    """Inject a precomputed :func:`frame_result` into the in-process cache.
+
+    Used by :mod:`repro.parallel` to publish worker-process results so a
+    subsequent serial :meth:`Experiment.run` replays entirely from cache.
+    """
+    _SIM_CACHE[_cache_key(spec, policy, config)] = result
+
+
+def seed_frame_characterization(
+    spec: FrameSpec,
+    policy: str,
+    config: ExperimentConfig,
+    characterization: FrameCharacterization,
+) -> None:
+    """Inject a precomputed :func:`frame_characterization` (see above)."""
+    _CHAR_CACHE[_cache_key(spec, policy, config)] = characterization
+
+
 def clear_result_caches() -> None:
     _SIM_CACHE.clear()
     _CHAR_CACHE.clear()
@@ -136,22 +157,53 @@ def group_frames_by_app(
 
 @dataclasses.dataclass(frozen=True)
 class Experiment:
-    """A registered reproduction of one paper table/figure."""
+    """A registered reproduction of one paper table/figure.
+
+    ``sim_policies`` / ``char_policies`` declare the per-frame
+    :func:`frame_result` / :func:`frame_characterization` calls the
+    experiment will issue, so :mod:`repro.parallel` can precompute them
+    in worker processes.  ``needs_traces`` marks experiments that read
+    frame traces at all (``False`` for pure-metadata tables), letting
+    the planner skip the trace-generation wave entirely.  Declarations
+    are an optimization hint, never a correctness requirement: anything
+    undeclared simply runs serially inside :meth:`run`.
+    """
 
     id: str
     title: str
     paper_claim: str
     run: Callable[[ExperimentConfig], List[Table]]
+    #: Policies simulated per frame via :func:`frame_result`.
+    sim_policies: Tuple[str, ...] = ()
+    #: Policies characterized per frame via :func:`frame_characterization`.
+    char_policies: Tuple[str, ...] = ()
+    #: Whether the experiment reads frame traces at all.
+    needs_traces: bool = True
 
 
 EXPERIMENTS: Dict[str, Experiment] = {}
 
 
-def register(id: str, title: str, paper_claim: str):
+def register(
+    id: str,
+    title: str,
+    paper_claim: str,
+    sim_policies: Sequence[str] = (),
+    char_policies: Sequence[str] = (),
+    needs_traces: bool = True,
+):
     """Decorator registering an experiment entry point."""
 
     def wrap(func: Callable[[ExperimentConfig], List[Table]]) -> Callable:
-        EXPERIMENTS[id] = Experiment(id, title, paper_claim, func)
+        EXPERIMENTS[id] = Experiment(
+            id,
+            title,
+            paper_claim,
+            func,
+            sim_policies=tuple(sim_policies),
+            char_policies=tuple(char_policies),
+            needs_traces=needs_traces,
+        )
         return func
 
     return wrap

@@ -26,6 +26,9 @@ SEQ_POLICIES = ("drrip", "nru", "gspztc+tse", "gspc+ucd", "belady")
     "extensions",
     "Beyond the paper: texture bypass and multi-frame sequences",
     "Extensions enabled by this library; not results from the paper.",
+    sim_policies=(
+        "drrip", "gspc", "gspc+bypass", "gspc+ucd", "gspc+bypass+ucd"
+    ),
 )
 def run(config: ExperimentConfig) -> List[Table]:
     frames = config.frames()

@@ -23,6 +23,7 @@ POLICIES = ("nru", "belady")
     "fig01",
     "NRU and Belady's OPT misses normalized to DRRIP (8 MB, 16-way)",
     "NRU averages +6.2% misses vs DRRIP; Belady's optimal saves 36.6%.",
+    sim_policies=("drrip",) + POLICIES,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table(

@@ -29,6 +29,7 @@ PANELS = (
     "Texture / render-target / Z hit rates for OPT, DRRIP, NRU",
     "OPT's texture hit rate dwarfs DRRIP/NRU; the RT gap is small; the "
     "Z gap is moderate.",
+    sim_policies=POLICIES,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     tables: List[Table] = []

@@ -27,6 +27,7 @@ POLICIES = ("belady", "drrip", "nru")
     "Inter- vs intra-stream texture hits; RT-to-TEX consumption",
     "~55% of OPT's texture hits are inter-stream; OPT consumes ~51% of "
     "render targets, DRRIP 16%, NRU 13%.",
+    sim_policies=POLICIES,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     grouped = group_frames_by_app(config.frames())

@@ -25,6 +25,7 @@ EPOCH_LABELS = ("E0", "E1", "E2", "E>=3")
     "Texture epochs under OPT: hit distribution and death ratios",
     "Most intra-stream texture hits come from E0, yet E0/E1 death "
     "ratios are high (0.81/0.73) and only E2 is ~half alive.",
+    char_policies=("belady",),
 )
 def run(config: ExperimentConfig) -> List[Table]:
     grouped = group_frames_by_app(config.frames())

@@ -24,6 +24,7 @@ from repro.streams import StreamClass
     "Percentage of RT and TEX fills with RRPV=3 under two-bit DRRIP",
     "DRRIP inserts ~36% of texture and ~25% of render-target fills at "
     "the distant RRPV.",
+    sim_policies=("drrip",),
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table(

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     "Z-stream epoch death ratios under OPT",
     "Z death ratios fall quickly with epoch (0.61 / 0.38 / 0.26): "
     "Z blocks that survive one reuse keep being reused.",
+    char_policies=("belady",),
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table(

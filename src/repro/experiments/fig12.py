@@ -34,6 +34,7 @@ POLICIES = (
     "LLC misses of all policies normalized to two-bit DRRIP",
     "GSPC+UCD saves the most misses; each GSPC refinement helps; NRU "
     "hurts; SHiP-mem and DRRIP+UCD are ~neutral.",
+    sim_policies=("drrip",) + POLICIES,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table(

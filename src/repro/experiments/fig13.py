@@ -38,6 +38,7 @@ METRICS = (
     "Texture/consumption/RT/Z rates per policy (averaged over frames)",
     "The GSPC family raises texture hit and RT-consumption rates; GSPC "
     "recovers the Z hit rate that static RT protection costs.",
+    sim_policies=POLICIES,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table(

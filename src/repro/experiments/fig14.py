@@ -26,6 +26,7 @@ POLICIES = ("lru", "drrip4", "gs-drrip4", "gspc+ucd")
     "Iso-overhead policies (4 replacement-state bits) vs two-bit DRRIP",
     "At equal state cost, GSPC far outperforms LRU and the four-bit "
     "RRIP variants.",
+    sim_policies=("drrip",) + POLICIES,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table(

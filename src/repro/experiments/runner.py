@@ -4,8 +4,9 @@ Examples::
 
     gspc-experiments --list
     gspc-experiments fig12
+    gspc-experiments fig12 --jobs 4
     gspc-experiments fig01 fig05 --frames-per-app 2 --scale 0.125
-    gspc-experiments --all --full --csv out/
+    gspc-experiments --all --full --csv out/ --jobs 0
 """
 
 from __future__ import annotations
@@ -26,6 +27,12 @@ from repro.experiments.common import (
 from repro.obs import log as obs_log
 from repro.obs.manifest import experiment_manifest, write_manifest
 from repro.obs.spans import SpanRecorder
+from repro.parallel import (
+    plan_for_experiment,
+    resolve_jobs,
+    run_jobs,
+    seed_outcomes,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the trace cache"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes (0 = one per CPU; default: serial)",
+    )
+    parser.add_argument(
         "--csv", metavar="DIR", help="also write each table as CSV into DIR"
     )
     parser.add_argument(
@@ -82,11 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _job_progress(completed: int, total: int, outcome) -> None:
+    """Ordered ``[k/N]`` per-job line (counter assigned at completion)."""
+    print(f"  [{completed}/{total}] {outcome.job.label} ({outcome.seconds:.2f}s)")
+
+
 def run_experiments(
     ids: List[str],
     config: ExperimentConfig,
     csv_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    workers: int = 1,
 ) -> int:
     logger = obs_log.get_logger("experiments")
     total = len(ids)
@@ -97,6 +117,28 @@ def run_experiments(
         logger.info("starting %s (%d/%d)", experiment.id, position, total)
         spans = SpanRecorder()
         started = time.perf_counter()
+        report = None
+        if workers > 1:
+            plan = plan_for_experiment(experiment, config)
+            if plan:
+                logger.info(
+                    "%s: fanning %d jobs over %d workers",
+                    experiment.id, len(plan), workers,
+                )
+                print(f"parallel: {len(plan)} jobs over {workers} workers")
+                with spans.span("parallel"):
+                    report = run_jobs(
+                        plan, config, workers, progress=_job_progress
+                    )
+                seed_outcomes(report.outcomes, config)
+                logger.info(
+                    "%s: parallel wave done in %.2fs (serial estimate %.2fs, "
+                    "speedup %.2fx)",
+                    experiment.id,
+                    report.wall_seconds,
+                    report.serial_seconds_estimate,
+                    report.speedup,
+                )
         with spans.span("run"):
             tables = experiment.run(config)
         elapsed = time.perf_counter() - started
@@ -118,6 +160,7 @@ def run_experiments(
                 elapsed_seconds=elapsed,
                 tables=tables,
                 spans=spans,
+                parallel=report.manifest_section() if report else None,
             )
             path = write_manifest(manifest, metrics_dir)
             print(f"wrote {path}")
@@ -149,14 +192,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             "valid ids: " + ", ".join(sorted(registry)), file=sys.stderr
         )
         return 2
-    if args.metrics_out:
-        # Fail before running experiments if the directory is unusable.
+    try:
+        workers = resolve_jobs(args.jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Fail before running experiments — not minutes into a simulation —
+    # if an output directory cannot be created.
+    for option, directory in (("--csv", args.csv),
+                              ("--metrics-out", args.metrics_out)):
+        if not directory:
+            continue
         try:
-            os.makedirs(args.metrics_out, exist_ok=True)
+            os.makedirs(directory, exist_ok=True)
         except OSError as exc:
             print(
-                f"error: cannot create --metrics-out directory "
-                f"{args.metrics_out!r}: {exc}",
+                f"error: cannot create {option} directory "
+                f"{directory!r}: {exc}",
                 file=sys.stderr,
             )
             return 2
@@ -165,7 +217,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         frames_per_app=None if args.full else args.frames_per_app,
         cache_dir=None if args.no_cache else ".repro_cache",
     )
-    return run_experiments(ids, config, args.csv, args.metrics_out)
+    return run_experiments(
+        ids, config, args.csv, args.metrics_out, workers=workers
+    )
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from repro.workloads.apps import ALL_APPS
     "Details of the DirectX applications",
     "Twelve applications (eight games, four benchmarks), DirectX 10/11, "
     "three resolutions, 52 frames total.",
+    needs_traces=False,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table(

@@ -25,6 +25,7 @@ EVALUATED = [
     "table6",
     "Evaluated policies",
     "The policy roster of Table 6.",
+    needs_traces=False,
 )
 def run(config: ExperimentConfig) -> List[Table]:
     table = Table("Table 6: Evaluated policies", ["Policy", "Description"])

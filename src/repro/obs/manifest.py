@@ -68,6 +68,7 @@ def _phases(
     setup_seconds: float,
     replay_seconds: float,
     spans: Optional[SpanRecorder] = None,
+    spans_flat: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     phases: Dict[str, object] = {
         "setup_seconds": setup_seconds,
@@ -76,6 +77,9 @@ def _phases(
     }
     if spans is not None:
         phases["spans"] = spans.flat()
+    elif spans_flat is not None:
+        # Spans recorded in a worker process arrive pre-flattened.
+        phases["spans"] = dict(spans_flat)
     return phases
 
 
@@ -95,20 +99,34 @@ def sim_manifest(
     observer: Optional[SamplingObserver] = None,
     spans: Optional[SpanRecorder] = None,
     extras: Optional[Mapping[str, object]] = None,
+    events_summary: Optional[Mapping[str, object]] = None,
+    spans_flat: Optional[Mapping[str, object]] = None,
+    parallel: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
-    """Manifest for one :class:`~repro.sim.results.SimResult`."""
+    """Manifest for one :class:`~repro.sim.results.SimResult`.
+
+    Telemetry can arrive either as live ``observer`` / ``spans`` objects
+    (serial runs) or as the pre-serialized ``events_summary`` /
+    ``spans_flat`` a ``--jobs`` worker shipped back across the process
+    boundary.  ``parallel`` attaches the execution report of the run
+    that produced this result.
+    """
     manifest = _envelope(
         "offline-sim",
         config,
-        _phases(result.setup_seconds, result.replay_seconds, spans),
+        _phases(result.setup_seconds, result.replay_seconds, spans, spans_flat),
     )
+    if observer is not None:
+        events_summary = observer.summary()
     manifest.update(
         policy=result.policy,
         trace={"accesses": result.accesses, **_jsonable(result.trace_meta)},
         metrics=_jsonable(result.stats.snapshot()),
-        events=observer.summary() if observer is not None else None,
+        events=_jsonable(events_summary) if events_summary is not None else None,
         extras=_jsonable(dict(result.extras, **(extras or {}))),
     )
+    if parallel is not None:
+        manifest["parallel"] = _jsonable(parallel)
     return manifest
 
 
@@ -139,8 +157,15 @@ def experiment_manifest(
     elapsed_seconds: float = 0.0,
     tables: Optional[List] = None,
     spans: Optional[SpanRecorder] = None,
+    parallel: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
-    """Manifest for one registered experiment run."""
+    """Manifest for one registered experiment run.
+
+    ``parallel``, when the experiment ran under ``--jobs``, records the
+    :meth:`~repro.parallel.pool.ParallelReport.manifest_section` —
+    worker count, per-job wall times, and the speedup over the
+    estimated serial time.
+    """
     manifest = _envelope(
         "experiment", config, _phases(0.0, elapsed_seconds, spans)
     )
@@ -154,6 +179,8 @@ def experiment_manifest(
             ]
         },
     )
+    if parallel is not None:
+        manifest["parallel"] = _jsonable(parallel)
     return manifest
 
 
@@ -244,6 +271,30 @@ def validate_manifest(manifest: Mapping[str, object]) -> List[str]:
         for key in ("events", "sample_period", "per_stream", "sampled"):
             if key not in events:
                 problems.append(f"events summary missing {key!r}")
+    if "parallel" in manifest:
+        problems.extend(_validate_parallel(manifest["parallel"]))
+    return problems
+
+
+#: Numeric keys the optional ``parallel`` section must carry.
+PARALLEL_KEYS = (
+    "workers", "jobs", "wall_seconds", "serial_seconds_estimate", "speedup"
+)
+
+
+def _validate_parallel(section) -> List[str]:
+    if not isinstance(section, Mapping):
+        return [
+            f"'parallel' must be an object, got {type(section).__name__}"
+        ]
+    problems = []
+    for key in PARALLEL_KEYS:
+        value = section.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"parallel.{key} must be a number, got {value!r}")
+    per_job = section.get("per_job")
+    if per_job is not None and not isinstance(per_job, list):
+        problems.append("parallel.per_job must be a list")
     return problems
 
 

@@ -1,0 +1,33 @@
+"""Parallel experiment execution (the ``--jobs`` engine).
+
+Decomposes experiments into independent (app, frame, policy) simulation
+jobs, fans them out over a process pool, and publishes the results into
+the in-process experiment caches so the subsequent serial table build is
+byte-identical to a fully serial run.  See ``docs/parallel.md``.
+"""
+
+from repro.parallel.jobs import (
+    JobOutcome,
+    SimJob,
+    execute_job,
+    plan_for_experiment,
+    seed_outcomes,
+)
+from repro.parallel.pool import (
+    ParallelReport,
+    resolve_jobs,
+    run_jobs,
+    run_policy_sims,
+)
+
+__all__ = [
+    "JobOutcome",
+    "ParallelReport",
+    "SimJob",
+    "execute_job",
+    "plan_for_experiment",
+    "resolve_jobs",
+    "run_jobs",
+    "run_policy_sims",
+    "seed_outcomes",
+]

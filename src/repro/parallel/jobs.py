@@ -1,0 +1,165 @@
+"""Job decomposition for parallel experiment execution.
+
+An experiment's expensive work is almost entirely per-(app, frame,
+policy) offline simulations that share nothing with each other, so it
+decomposes into independent :class:`SimJob` payloads:
+
+* ``trace`` — generate (and disk-cache) one frame's LLC trace;
+* ``sim`` — replay one frame under one policy (:func:`frame_result`);
+* ``char`` — characterize one frame under one policy
+  (:func:`frame_characterization`).
+
+:func:`plan_for_experiment` derives the job list from the declarations
+an experiment makes at :func:`~repro.experiments.common.register` time.
+The plan is deduplicated and deterministically ordered; trace jobs form
+a first *wave* so that every frame is generated exactly once before the
+sim/char wave fans out (workers then load it from the on-disk cache
+instead of regenerating it per policy).
+
+Every payload here is spawn-safe: :func:`execute_job` is a module-level
+function and both :class:`SimJob` and
+:class:`~repro.experiments.common.ExperimentConfig` are small frozen
+dataclasses, so they pickle cleanly under any multiprocessing start
+method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Sequence
+
+from repro.errors import ParallelError
+from repro.experiments.common import (
+    Experiment,
+    ExperimentConfig,
+    frame_trace,
+    seed_frame_characterization,
+    seed_frame_result,
+)
+from repro.obs.spans import SpanRecorder
+from repro.workloads.apps import FrameSpec, app_by_name
+
+#: Job kinds in wave order: traces first, then simulations.
+JOB_KINDS = ("trace", "sim", "char")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SimJob:
+    """One independent unit of experiment work."""
+
+    kind: str
+    #: Application abbreviation (Table 1 name).
+    app: str
+    frame_index: int
+    #: Policy name; empty for ``trace`` jobs.
+    policy: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ParallelError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if self.kind != "trace" and not self.policy:
+            raise ParallelError(f"{self.kind} job needs a policy: {self}")
+
+    @property
+    def label(self) -> str:
+        suffix = f" {self.policy}" if self.policy else ""
+        return f"{self.kind} {self.app} f{self.frame_index}{suffix}"
+
+    def spec(self) -> FrameSpec:
+        return FrameSpec(app_by_name(self.app), self.frame_index)
+
+
+@dataclasses.dataclass
+class JobOutcome:
+    """What one worker reported back for one job."""
+
+    job: SimJob
+    #: ``SimResult`` / ``FrameCharacterization`` / ``None`` for traces.
+    value: object
+    seconds: float
+    #: Flat span breakdown recorded inside the worker.
+    spans: dict
+
+
+def plan_for_experiment(
+    experiment: Experiment, config: ExperimentConfig
+) -> List[SimJob]:
+    """The deduplicated, deterministically ordered job list.
+
+    Returns an empty list when the experiment declares no
+    parallelizable work (it then runs serially, unchanged).
+    """
+    frames = config.frames() if experiment.needs_traces else []
+    jobs: List[SimJob] = []
+    if frames and config.cache_dir is not None:
+        # Wave 1: each frame generated exactly once, published via the
+        # concurrency-safe disk cache.  Pointless without a cache — the
+        # generated trace could not reach the other workers.
+        jobs.extend(
+            SimJob("trace", spec.app.abbrev, spec.frame_index)
+            for spec in frames
+        )
+    for policy in experiment.sim_policies:
+        jobs.extend(
+            SimJob("sim", spec.app.abbrev, spec.frame_index, policy)
+            for spec in frames
+        )
+    for policy in experiment.char_policies:
+        jobs.extend(
+            SimJob("char", spec.app.abbrev, spec.frame_index, policy)
+            for spec in frames
+        )
+    # Dedup preserving wave order; sort within a kind for determinism.
+    unique = sorted(set(jobs), key=lambda j: (JOB_KINDS.index(j.kind), j))
+    return unique
+
+
+def execute_job(job: SimJob, config: ExperimentConfig) -> JobOutcome:
+    """Run one job to completion (worker-process entry point)."""
+    spans = SpanRecorder()
+    started = time.perf_counter()
+    spec = job.spec()
+    if job.kind == "trace":
+        with spans.span("trace"):
+            frame_trace(spec, config)
+        value: object = None
+    elif job.kind == "sim":
+        from repro.sim.offline import simulate_trace
+
+        with spans.span("trace"):
+            trace = frame_trace(spec, config)
+        value = simulate_trace(trace, job.policy, config.llc(), spans=spans)
+    else:  # char
+        from repro.analysis.characterize import characterize_frame
+
+        with spans.span("trace"):
+            trace = frame_trace(spec, config)
+        with spans.span("characterize"):
+            value = characterize_frame(trace, job.policy, config.llc())
+    seconds = time.perf_counter() - started
+    return JobOutcome(job, value, seconds, spans.flat())
+
+
+def seed_outcomes(
+    outcomes: Sequence[JobOutcome], config: ExperimentConfig
+) -> None:
+    """Publish worker results into the in-process experiment caches.
+
+    After seeding, a serial :meth:`Experiment.run` resolves every
+    declared :func:`frame_result` / :func:`frame_characterization` call
+    from cache — so its tables are byte-identical to a fully serial run
+    by construction, independent of worker count or completion order.
+    """
+    for outcome in outcomes:
+        if outcome.value is None:
+            continue
+        spec = outcome.job.spec()
+        if outcome.job.kind == "sim":
+            seed_frame_result(spec, outcome.job.policy, config, outcome.value)
+        elif outcome.job.kind == "char":
+            seed_frame_characterization(
+                spec, outcome.job.policy, config, outcome.value
+            )

@@ -1,0 +1,182 @@
+"""Worker-pool execution of :class:`~repro.parallel.jobs.SimJob` plans.
+
+The pool runs a plan in two waves (trace generation, then
+simulation/characterization) over a :class:`ProcessPoolExecutor` and
+reports per-job wall times back to the caller.  Merging is trivially
+deterministic: workers only *warm caches*; the experiment itself then
+runs serially against those caches, so completion order can never leak
+into tables, CSVs, or manifests.
+
+``[k/N]`` progress lines are emitted from the parent process with a
+monotonically increasing counter assigned at completion time, so they
+stay ordered however the workers interleave.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError
+from repro.experiments.common import ExperimentConfig
+from repro.parallel.jobs import JobOutcome, SimJob, execute_job
+
+#: progress callback: (completed_count, total, outcome)
+ProgressFn = Callable[[int, int, JobOutcome], None]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Validate a ``--jobs`` value; ``0`` means one worker per CPU."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ParallelError(
+            f"--jobs must be >= 0 (0 = one worker per CPU), got {jobs}"
+        )
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclasses.dataclass
+class ParallelReport:
+    """Everything observable about one parallel execution."""
+
+    workers: int
+    wall_seconds: float
+    outcomes: List[JobOutcome]
+
+    @property
+    def serial_seconds_estimate(self) -> float:
+        """Sum of per-job wall times ≈ what a serial run would cost."""
+        return sum(outcome.seconds for outcome in self.outcomes)
+
+    @property
+    def speedup(self) -> float:
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.serial_seconds_estimate / self.wall_seconds
+
+    def manifest_section(self) -> dict:
+        """The run manifest's ``parallel`` section."""
+        return {
+            "workers": self.workers,
+            "jobs": len(self.outcomes),
+            "wall_seconds": self.wall_seconds,
+            "serial_seconds_estimate": self.serial_seconds_estimate,
+            "speedup": self.speedup,
+            "per_job": [
+                {
+                    "job": outcome.job.label,
+                    "seconds": outcome.seconds,
+                    "spans": outcome.spans,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+def _waves(jobs: Sequence[SimJob]) -> List[List[SimJob]]:
+    traces = [job for job in jobs if job.kind == "trace"]
+    rest = [job for job in jobs if job.kind != "trace"]
+    return [wave for wave in (traces, rest) if wave]
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    config: ExperimentConfig,
+    workers: int,
+    progress: Optional[ProgressFn] = None,
+) -> ParallelReport:
+    """Execute ``jobs`` over ``workers`` processes.
+
+    Jobs within a wave run concurrently; the trace wave completes
+    before the sim/char wave starts so every frame is generated exactly
+    once.  Outcomes are returned in plan order regardless of completion
+    order.  ``workers == 1`` degenerates to in-process serial execution
+    through the identical code path.
+    """
+    if workers < 1:
+        raise ParallelError(f"worker count must be >= 1, got {workers}")
+    started = time.perf_counter()
+    outcomes: List[JobOutcome] = []
+    total = len(jobs)
+    completed = 0
+
+    def record(outcome: JobOutcome) -> None:
+        nonlocal completed
+        completed += 1
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(completed, total, outcome)
+
+    if workers == 1:
+        for job in jobs:
+            record(execute_job(job, config))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            for wave in _waves(jobs):
+                pending = {
+                    executor.submit(execute_job, job, config) for job in wave
+                }
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        record(future.result())
+    outcomes.sort(key=lambda outcome: jobs.index(outcome.job))
+    return ParallelReport(
+        workers=workers,
+        wall_seconds=time.perf_counter() - started,
+        outcomes=outcomes,
+    )
+
+
+# -- per-policy simulation fan-out (gspc-sim) --------------------------------
+
+def _simulate_policy(
+    trace, policy: str, llc_config, telemetry: bool
+) -> Tuple[str, object, Optional[dict], Optional[dict]]:
+    """Worker: replay one policy; returns pickled-down telemetry."""
+    from repro.obs.events import SamplingObserver
+    from repro.obs.spans import SpanRecorder
+    from repro.sim.offline import simulate_trace
+
+    observer = SamplingObserver() if telemetry else None
+    spans = SpanRecorder() if telemetry else None
+    result = simulate_trace(
+        trace, policy, llc_config, observer=observer, spans=spans
+    )
+    return (
+        result.policy,
+        result,
+        observer.summary() if observer is not None else None,
+        spans.flat() if spans is not None else None,
+    )
+
+
+def run_policy_sims(
+    trace,
+    policies: Sequence[str],
+    llc_config,
+    workers: int,
+    telemetry: bool = False,
+) -> List[Tuple[str, object, Optional[dict], Optional[dict]]]:
+    """Replay ``trace`` under each policy, fanned out over ``workers``.
+
+    Results come back in ``policies`` order (not completion order), each
+    as ``(resolved_name, SimResult, events_summary, spans_flat)``.
+    """
+    if workers <= 1 or len(policies) <= 1:
+        return [
+            _simulate_policy(trace, policy, llc_config, telemetry)
+            for policy in policies
+        ]
+    with ProcessPoolExecutor(max_workers=min(workers, len(policies))) as pool:
+        futures = [
+            pool.submit(_simulate_policy, trace, policy, llc_config, telemetry)
+            for policy in policies
+        ]
+        return [future.result() for future in futures]

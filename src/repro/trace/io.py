@@ -23,20 +23,37 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 
 def save_trace(trace: Trace, path: PathLike) -> None:
-    """Write ``trace`` to ``path`` (creating parent directories)."""
-    directory = os.path.dirname(os.fspath(path))
+    """Write ``trace`` to ``path`` (creating parent directories).
+
+    The write is atomic: the archive is serialized into a process-unique
+    temporary file in the same directory and then renamed over ``path``,
+    so concurrent readers (and concurrent writers racing on the same
+    cache key) never observe a partially written trace.
+    """
+    base = os.fspath(path)
+    directory = os.path.dirname(base)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(
-        path,
-        version=np.int64(FORMAT_VERSION),
-        addresses=trace.addresses,
-        streams=trace.streams,
-        writes=trace.writes,
-        meta=np.frombuffer(
-            json.dumps(trace.meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
-        ),
-    )
+    # np.savez appends ".npz" when the name lacks it; resolve the final
+    # name up front so the rename lands where a reader will look.
+    final = base if base.endswith(".npz") else base + ".npz"
+    tmp = f"{final}.tmp-{os.getpid()}.npz"
+    try:
+        np.savez_compressed(
+            tmp,
+            version=np.int64(FORMAT_VERSION),
+            addresses=trace.addresses,
+            streams=trace.streams,
+            writes=trace.writes,
+            meta=np.frombuffer(
+                json.dumps(trace.meta, sort_keys=True).encode("utf-8"),
+                dtype=np.uint8,
+            ),
+        )
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def load_trace(path: PathLike) -> Trace:

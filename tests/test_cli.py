@@ -1,6 +1,7 @@
 """gspc-sim CLI tests."""
 
 import logging
+import os
 
 import numpy as np
 import pytest
@@ -71,6 +72,37 @@ def test_missing_trace_errors(capsys):
 
 def test_unknown_app_errors(capsys):
     assert main(["--app", "Quake"]) == 1
+
+
+def test_negative_jobs_rejected(tiny_trace_path, capsys):
+    assert main(["--trace", tiny_trace_path, "--jobs", "-3"]) == 2
+    assert "--jobs must be >= 0" in capsys.readouterr().err
+
+
+def test_jobs_two_matches_serial_table(tiny_trace_path, capsys):
+    policies = ["--policies", "drrip", "lru", "nru"]
+    assert main(["--trace", tiny_trace_path, *policies]) == 0
+    serial = capsys.readouterr().out
+    assert main(["--trace", tiny_trace_path, *policies, "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel.replace(
+        "parallel: 3 policies over 2 workers\n", ""
+    ) == serial
+
+
+def test_jobs_manifest_has_parallel_section(tiny_trace_path, tmp_path):
+    out = tmp_path / "m"
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "drrip", "lru",
+         "--jobs", "2", "--metrics-out", str(out)]
+    ) == 0
+    import json
+
+    manifests = [json.loads((out / f).read_text()) for f in os.listdir(out)]
+    for manifest in manifests:
+        assert manifest["parallel"]["workers"] == 2
+        assert manifest["parallel"]["jobs"] == 2
+        assert manifest["events"]["sample_period"] >= 1
 
 
 def test_parser_defaults():

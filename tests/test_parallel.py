@@ -1,0 +1,234 @@
+"""The parallel execution engine: job planning, pool execution,
+serial/parallel result equivalence, and trace-cache race safety."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.config import KB, CacheParams, LLCConfig
+from repro.core.registry import available_policies
+from repro.errors import ParallelError
+from repro.experiments.common import (
+    ExperimentConfig,
+    clear_result_caches,
+    frame_trace,
+    get_experiment,
+)
+from repro.obs.manifest import validate_manifest
+from repro.parallel import (
+    SimJob,
+    plan_for_experiment,
+    resolve_jobs,
+    run_jobs,
+    run_policy_sims,
+    seed_outcomes,
+)
+from repro.sim.offline import simulate_trace
+from repro.trace import synth
+from repro.trace.io import load_trace, save_trace
+
+LLC = LLCConfig(params=CacheParams(32 * KB, ways=8), banks=1, sample_period=8)
+
+#: Tiny but multi-app experiment configuration.
+TINY = ExperimentConfig(scale=0.03125, frames_per_app=1, cache_dir=None)
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    return synth.producer_consumer(512, 8, consume_fraction=0.6, gap_blocks=2048)
+
+
+# -- --jobs resolution --------------------------------------------------------
+
+def test_resolve_jobs():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_rejects_negative():
+    with pytest.raises(ParallelError, match="--jobs must be >= 0"):
+        resolve_jobs(-1)
+
+
+def test_simjob_validation():
+    with pytest.raises(ParallelError, match="unknown job kind"):
+        SimJob("warp", "HAWX", 0)
+    with pytest.raises(ParallelError, match="needs a policy"):
+        SimJob("sim", "HAWX", 0)
+    job = SimJob("sim", "HAWX", 2, "gspc+ucd")
+    assert job.label == "sim HAWX f2 gspc+ucd"
+    assert job.spec().app.abbrev == "HAWX"
+
+
+# -- planning -----------------------------------------------------------------
+
+def test_plan_covers_declared_policies_and_dedups():
+    config = dataclasses.replace(TINY, cache_dir=".repro_cache")
+    experiment = get_experiment("fig12")
+    plan = plan_for_experiment(experiment, config)
+    assert len(plan) == len(set(plan))
+    kinds = [job.kind for job in plan]
+    # Trace wave strictly precedes the sim wave.
+    assert kinds.index("sim") == len([k for k in kinds if k == "trace"])
+    frames = config.frames()
+    assert sum(1 for job in plan if job.kind == "trace") == len(frames)
+    policies = {job.policy for job in plan if job.kind == "sim"}
+    assert policies == {"drrip", *experiment.sim_policies}
+    # Deterministic: replanning yields the identical ordered list.
+    assert plan == plan_for_experiment(experiment, config)
+
+
+def test_plan_skips_trace_wave_without_cache():
+    plan = plan_for_experiment(get_experiment("fig01"), TINY)
+    assert plan and all(job.kind == "sim" for job in plan)
+
+
+def test_plan_empty_for_metadata_experiments():
+    assert plan_for_experiment(get_experiment("table6"), TINY) == []
+
+
+def test_plan_characterization_jobs():
+    plan = plan_for_experiment(get_experiment("fig07"), TINY)
+    assert plan and all(job.kind == "char" for job in plan)
+    assert {job.policy for job in plan} == {"belady"}
+
+
+# -- serial vs parallel equivalence -------------------------------------------
+
+def test_every_registered_policy_matches_serial(mixed_trace):
+    """Worker-process SimResults equal in-process ones, per policy."""
+    policies = available_policies()
+    parallel = run_policy_sims(mixed_trace, policies, LLC, workers=2)
+    assert [name for name, *_ in parallel] != []
+    for requested, (name, result, events, spans) in zip(policies, parallel):
+        serial = simulate_trace(mixed_trace, requested, LLC)
+        assert name == serial.policy
+        assert result.stats.snapshot() == serial.stats.snapshot()
+        assert result.accesses == serial.accesses
+        assert events is None and spans is None
+
+
+def test_run_policy_sims_returns_telemetry(mixed_trace):
+    [(name, result, events, spans)] = run_policy_sims(
+        mixed_trace, ["drrip"], LLC, workers=2, telemetry=True
+    )
+    assert events is not None and "sample_period" in events
+    assert spans  # flat span table from the worker
+
+
+def test_experiment_identical_after_parallel_prewarm(capsys):
+    """fig01 tables are byte-identical with and without the job engine."""
+    experiment = get_experiment("fig01")
+    clear_result_caches()
+    serial_csv = [t.to_csv() for t in experiment.run(TINY)]
+
+    clear_result_caches()
+    plan = plan_for_experiment(experiment, TINY)
+    report = run_jobs(plan, TINY, workers=2)
+    seed_outcomes(report.outcomes, TINY)
+    parallel_csv = [t.to_csv() for t in experiment.run(TINY)]
+    clear_result_caches()
+
+    assert parallel_csv == serial_csv
+    assert report.workers == 2
+    assert len(report.outcomes) == len(plan)
+    assert report.serial_seconds_estimate > 0
+
+
+def test_run_jobs_outcomes_in_plan_order_and_progress_ordered():
+    plan = plan_for_experiment(get_experiment("fig01"), TINY)[:6]
+    seen = []
+    report = run_jobs(
+        plan, TINY, workers=2,
+        progress=lambda k, total, outcome: seen.append((k, total)),
+    )
+    assert [outcome.job for outcome in report.outcomes] == list(plan)
+    assert seen == [(k, len(plan)) for k in range(1, len(plan) + 1)]
+
+
+def test_run_jobs_serial_worker_same_path():
+    plan = plan_for_experiment(get_experiment("fig08"), TINY)[:2]
+    report = run_jobs(plan, TINY, workers=1)
+    assert [outcome.job for outcome in report.outcomes] == list(plan)
+    assert all(outcome.value is not None for outcome in report.outcomes)
+
+
+# -- manifest section ---------------------------------------------------------
+
+def test_parallel_manifest_section_validates(mixed_trace):
+    plan = plan_for_experiment(get_experiment("fig08"), TINY)[:2]
+    report = run_jobs(plan, TINY, workers=2)
+    section = report.manifest_section()
+    assert section["workers"] == 2 and section["jobs"] == 2
+    assert len(section["per_job"]) == 2
+
+    from repro.obs.manifest import experiment_manifest
+
+    manifest = experiment_manifest(
+        "fig08", "t", config={}, elapsed_seconds=0.1, parallel=section
+    )
+    assert validate_manifest(manifest) == []
+
+
+def test_parallel_manifest_section_rejects_garbage():
+    from repro.obs.manifest import experiment_manifest
+
+    manifest = experiment_manifest("fig08", "t", config={}, parallel={})
+    problems = validate_manifest(manifest)
+    assert any("parallel.workers" in p for p in problems)
+    manifest["parallel"] = "not-a-mapping"
+    assert any("'parallel'" in p for p in validate_manifest(manifest))
+
+
+# -- trace-cache race safety --------------------------------------------------
+
+def _race_frame_trace(cache_dir: str) -> int:
+    config = ExperimentConfig(
+        scale=0.03125, frames_per_app=1, cache_dir=cache_dir
+    )
+    spec = config.frames()[0]
+    return len(frame_trace(spec, config))
+
+
+def test_trace_cache_concurrent_writers(tmp_path):
+    """Two processes racing on the same frame key both succeed and the
+    cache entry stays loadable afterwards."""
+    cache_dir = str(tmp_path / "cache")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        lengths = list(
+            pool.map(_race_frame_trace, [cache_dir] * 4)
+        )
+    assert len(set(lengths)) == 1
+    traces_dir = os.path.join(cache_dir, "traces")
+    entries = os.listdir(traces_dir)
+    assert len(entries) == 1  # no duplicate or leftover temp files
+    reloaded = load_trace(os.path.join(traces_dir, entries[0]))
+    assert len(reloaded) == lengths[0]
+
+
+def _race_save(args) -> bool:
+    path, seed = args
+    trace = synth.cyclic_scan(64, 4)
+    save_trace(trace, path)
+    return True
+
+
+def test_save_trace_atomic_under_racing_writers(tmp_path):
+    path = str(tmp_path / "racy.npz")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        assert all(pool.map(_race_save, [(path, i) for i in range(6)]))
+    assert os.listdir(tmp_path) == ["racy.npz"]  # temp files cleaned up
+    assert len(load_trace(path)) > 0
+
+
+def test_save_trace_appends_npz_suffix(tmp_path):
+    trace = synth.cyclic_scan(32, 2)
+    save_trace(trace, str(tmp_path / "noext"))
+    assert sorted(os.listdir(tmp_path)) == ["noext.npz"]
+    assert len(load_trace(str(tmp_path / "noext.npz"))) == len(trace)

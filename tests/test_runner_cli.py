@@ -48,8 +48,58 @@ def test_progress_lines_and_manifest(tmp_path, capsys):
 def test_parser_defaults():
     args = build_parser().parse_args([])
     assert args.frames_per_app == 1
+    assert args.jobs == 1
     assert not args.full
     assert args.scale == pytest.approx(0.125)
+
+
+def test_negative_jobs_rejected(capsys):
+    assert main(["fig01", "--jobs", "-1"]) == 2
+    assert "--jobs must be >= 0" in capsys.readouterr().err
+
+
+def test_unwritable_csv_dir_fails_before_running(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file, not a directory")
+    assert main(["fig01", "--csv", str(blocker / "out")]) == 2
+    captured = capsys.readouterr()
+    assert "cannot create --csv directory" in captured.err
+    # Failed up front: no experiment banner was printed.
+    assert "[1/1] fig01" not in captured.out
+
+
+def test_unwritable_metrics_dir_fails_before_running(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file, not a directory")
+    assert main(["fig01", "--metrics-out", str(blocker / "out")]) == 2
+    assert "cannot create --metrics-out directory" in capsys.readouterr().err
+
+
+def test_jobs_two_runs_and_records_parallel_manifest(tmp_path, capsys):
+    import json
+
+    monkey_dir = tmp_path / "work"
+    monkey_dir.mkdir()
+    cwd = os.getcwd()
+    os.chdir(monkey_dir)
+    try:
+        assert main(
+            ["fig08", "--scale", "0.03125", "--jobs", "2",
+             "--csv", "csv", "--metrics-out", "metrics"]
+        ) == 0
+    finally:
+        os.chdir(cwd)
+    out = capsys.readouterr().out
+    assert "parallel:" in out and "jobs over 2 workers" in out
+    # Per-job progress counters appear in order.
+    positions = [out.index(f"[{k}/") for k in range(1, 4)]
+    assert positions == sorted(positions)
+    [manifest_name] = os.listdir(monkey_dir / "metrics")
+    manifest = json.loads((monkey_dir / "metrics" / manifest_name).read_text())
+    parallel = manifest["parallel"]
+    assert parallel["workers"] == 2
+    assert parallel["jobs"] == len(parallel["per_job"])
+    assert parallel["serial_seconds_estimate"] > 0
 
 
 def test_parser_full_flag():
