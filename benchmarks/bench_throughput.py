@@ -12,8 +12,6 @@ parallel wall times, so CI can track both simulator throughput and the
 ``--jobs`` engine's overhead over time.
 """
 
-import pytest
-
 from repro.config import CacheParams, KB, LLCConfig
 from repro.sim.future import next_use_indices
 from repro.sim.offline import simulate_trace
@@ -21,75 +19,75 @@ from repro.trace import synth
 from repro.workloads.apps import ALL_APPS
 from repro.workloads.framegen import generate_frame_trace
 
+try:
+    import pytest
+except ImportError:  # script mode: the CI bench job installs only numpy
+    pytest = None
+
 LLC = LLCConfig(params=CacheParams(128 * KB, ways=16), banks=1, sample_period=16)
 
+if pytest is not None:
 
-@pytest.fixture(scope="module")
-def mixed_trace():
-    return synth.producer_consumer(
-        1024, 8, consume_fraction=0.7, gap_blocks=4096
+    @pytest.fixture(scope="module")
+    def mixed_trace():
+        return synth.producer_consumer(
+            1024, 8, consume_fraction=0.7, gap_blocks=4096
+        )
+
+    @pytest.mark.parametrize(
+        "policy", ["lru", "nru", "drrip", "ship-mem", "gspc", "belady"]
     )
+    def test_policy_throughput(benchmark, mixed_trace, policy):
+        """Accesses simulated per second, per policy."""
+        result = benchmark(simulate_trace, mixed_trace, policy, LLC)
+        assert result.accesses == len(mixed_trace)
 
+    @pytest.mark.parametrize("observer", ["off", "sampling"])
+    def test_observer_overhead(benchmark, mixed_trace, observer):
+        """Replay throughput with and without the sampling event observer.
 
-@pytest.mark.parametrize(
-    "policy", ["lru", "nru", "drrip", "ship-mem", "gspc", "belady"]
-)
-def test_policy_throughput(benchmark, mixed_trace, policy):
-    """Accesses simulated per second, per policy."""
-    result = benchmark(simulate_trace, mixed_trace, policy, LLC)
-    assert result.accesses == len(mixed_trace)
+        Compare the two rows to measure the observer tax (target: < 5%
+        replay-throughput regression, so telemetry can stay on by default).
+        """
+        from repro.obs.events import SamplingObserver
 
+        def run():
+            obs = SamplingObserver() if observer == "sampling" else None
+            return simulate_trace(mixed_trace, "drrip", LLC, observer=obs)
 
-@pytest.mark.parametrize("observer", ["off", "sampling"])
-def test_observer_overhead(benchmark, mixed_trace, observer):
-    """Replay throughput with and without the sampling event observer.
+        result = benchmark(run)
+        assert result.accesses == len(mixed_trace)
 
-    Compare the two rows to measure the observer tax (target: < 5%
-    replay-throughput regression, so telemetry can stay on by default).
-    """
-    from repro.obs.events import SamplingObserver
+    def test_next_use_precompute_throughput(benchmark, mixed_trace):
+        blocks = mixed_trace.block_addresses()
+        benchmark(next_use_indices, blocks)
 
-    def run():
-        obs = SamplingObserver() if observer == "sampling" else None
-        return simulate_trace(mixed_trace, "drrip", LLC, observer=obs)
+    def test_frame_generation_throughput(benchmark):
+        """Synthetic-frame synthesis speed (1/16 linear scale)."""
+        trace = benchmark.pedantic(
+            generate_frame_trace,
+            args=(ALL_APPS[0], 0),
+            kwargs={"scale": 0.0625},
+            rounds=1,
+            iterations=1,
+        )
+        assert len(trace) > 0
 
-    result = benchmark(run)
-    assert result.accesses == len(mixed_trace)
+    def test_detailed_timing_throughput(benchmark, mixed_trace):
+        """Event-driven timing model: accesses simulated per second."""
+        from repro.config import paper_baseline
+        from repro.gpu.detailed import DetailedGPUSimulator
 
+        simulator = DetailedGPUSimulator(paper_baseline(llc_mb=8, scale=0.125))
+        timing = benchmark(simulator.run, mixed_trace, "drrip")
+        assert timing.accesses == len(mixed_trace)
 
-def test_next_use_precompute_throughput(benchmark, mixed_trace):
-    blocks = mixed_trace.block_addresses()
-    benchmark(next_use_indices, blocks)
+    def test_reuse_distance_throughput(benchmark, mixed_trace):
+        """Fenwick-tree stack distances: accesses processed per second."""
+        from repro.analysis.reuse import reuse_distances
 
-
-def test_frame_generation_throughput(benchmark):
-    """Synthetic-frame synthesis speed (1/16 linear scale)."""
-    trace = benchmark.pedantic(
-        generate_frame_trace,
-        args=(ALL_APPS[0], 0),
-        kwargs={"scale": 0.0625},
-        rounds=1,
-        iterations=1,
-    )
-    assert len(trace) > 0
-
-
-def test_detailed_timing_throughput(benchmark, mixed_trace):
-    """Event-driven timing model: accesses simulated per second."""
-    from repro.config import paper_baseline
-    from repro.gpu.detailed import DetailedGPUSimulator
-
-    simulator = DetailedGPUSimulator(paper_baseline(llc_mb=8, scale=0.125))
-    timing = benchmark(simulator.run, mixed_trace, "drrip")
-    assert timing.accesses == len(mixed_trace)
-
-
-def test_reuse_distance_throughput(benchmark, mixed_trace):
-    """Fenwick-tree stack distances: accesses processed per second."""
-    from repro.analysis.reuse import reuse_distances
-
-    blocks = mixed_trace.block_addresses().tolist()
-    benchmark(reuse_distances, blocks)
+        blocks = mixed_trace.block_addresses().tolist()
+        benchmark(reuse_distances, blocks)
 
 
 # -- CI smoke script ----------------------------------------------------------
@@ -118,7 +116,7 @@ def run_smoke(jobs: int = 2, scale: float = 0.0625) -> dict:
     parallel = run_policy_sims(trace, SMOKE_POLICIES, llc, workers=workers)
     parallel_seconds = time.perf_counter() - started
 
-    for (_, a, _, _), (_, b, _, _) in zip(serial, parallel):
+    for (_, a, *_), (_, b, *_) in zip(serial, parallel):
         assert a.stats.snapshot() == b.stats.snapshot(), (
             f"serial/parallel divergence under {a.policy}"
         )
@@ -132,7 +130,7 @@ def run_smoke(jobs: int = 2, scale: float = 0.0625) -> dict:
         "speedup": serial_seconds / parallel_seconds if parallel_seconds else 1.0,
         "accesses_per_second": {
             name: result.replay_accesses_per_second
-            for name, result, _, _ in serial
+            for name, result, *_ in serial
         },
     }
 

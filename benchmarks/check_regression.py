@@ -1,0 +1,115 @@
+"""Benchmark-regression gate for the CI bench-smoke job.
+
+Compares a freshly generated ``BENCH_parallel.json`` (see
+``bench_throughput.py``) against the committed ``BENCH_baseline.json``
+and fails if any policy's accesses/sec dropped more than the threshold
+below baseline::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --report BENCH_parallel.json --baseline BENCH_baseline.json
+
+The delta table prints either way, so every CI run leaves a throughput
+record in its log.  A policy present in the baseline but missing from
+the report is a failure (a silently dropped benchmark is a regression
+too); new policies in the report are reported but never gate.  Refresh
+the committed baseline with ``--update`` after an intentional
+performance change.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_throughput(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    table = report.get("accesses_per_second")
+    if not isinstance(table, dict) or not table:
+        raise SystemExit(f"error: {path} has no accesses_per_second table")
+    return {name: float(value) for name, value in table.items()}
+
+
+def compare(baseline: dict, current: dict, threshold: float):
+    """Per-policy delta rows plus the list of failures."""
+    rows = []
+    failures = []
+    for policy in sorted(set(baseline) | set(current)):
+        base = baseline.get(policy)
+        now = current.get(policy)
+        if base is None:
+            rows.append((policy, None, now, None, "new"))
+            continue
+        if now is None:
+            rows.append((policy, base, None, None, "MISSING"))
+            failures.append(f"{policy}: missing from report")
+            continue
+        delta = (now - base) / base
+        status = "ok"
+        if delta < -threshold:
+            status = "FAIL"
+            failures.append(
+                f"{policy}: {now:,.0f}/s is {-delta:.1%} below "
+                f"baseline {base:,.0f}/s (limit {threshold:.0%})"
+            )
+        rows.append((policy, base, now, delta, status))
+    return rows, failures
+
+
+def print_table(rows) -> None:
+    print(f"{'policy':12s} {'baseline/s':>14s} {'current/s':>14s} "
+          f"{'delta':>8s}  status")
+    for policy, base, now, delta, status in rows:
+        base_s = f"{base:,.0f}" if base is not None else "-"
+        now_s = f"{now:,.0f}" if now is not None else "-"
+        delta_s = f"{delta:+.1%}" if delta is not None else "-"
+        print(f"{policy:12s} {base_s:>14s} {now_s:>14s} {delta_s:>8s}  {status}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when benchmark throughput regresses."
+    )
+    parser.add_argument(
+        "--report", default="BENCH_parallel.json", help="fresh bench report"
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_baseline.json", help="committed baseline"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max tolerated fractional drop (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the report instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_throughput(args.report)
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump({"accesses_per_second": current}, handle, indent=2)
+            handle.write("\n")
+        print(f"updated {args.baseline} from {args.report}")
+        return 0
+
+    baseline = load_throughput(args.baseline)
+    rows, failures = compare(baseline, current, args.threshold)
+    print_table(rows)
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall policies within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

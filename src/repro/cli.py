@@ -29,6 +29,7 @@ from repro.core.registry import available_policies
 from repro.errors import ReproError
 from repro.gpu.timing import FrameTimingSimulator
 from repro.obs import log as obs_log
+from repro.fastsim.dispatch import ENGINE_AUTO, ENGINES
 from repro.obs.manifest import sim_manifest, timing_manifest, write_manifest
 from repro.parallel import resolve_jobs, run_policy_sims
 from repro.trace.io import load_trace, save_trace
@@ -71,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="simulate policies in N worker processes "
         "(0 = one per CPU; default: serial)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=ENGINE_AUTO,
+        help="replay engine: the specialized fast kernels, the reference "
+        "hook-driven simulator, or auto (fast whenever the policy is "
+        "covered; identical results either way)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -170,12 +179,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             system.llc,
             workers,
             telemetry=bool(args.metrics_out),
+            engine=args.engine,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     wall_seconds = time.perf_counter() - wall_started
-    for name, result, events_summary, spans_flat in outcomes:
+    for name, result, events_summary, spans_flat, engine_used in outcomes:
         logger.info(
             "%s: %d misses, %.0f accesses/s replay",
             result.policy,
@@ -185,7 +195,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if baseline is None:
             baseline = result
         if args.metrics_out:
-            telemetry[result.policy] = (result, events_summary, spans_flat)
+            telemetry[result.policy] = (
+                result,
+                events_summary,
+                spans_flat,
+                engine_used,
+            )
         stats = result.stats
         table.add_row(
             result.policy.upper(),
@@ -198,7 +213,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parallel_section = None
     if workers > 1:
         serial_estimate = sum(
-            result.elapsed_seconds for _, result, _, _ in outcomes
+            result.elapsed_seconds for _, result, _, _, _ in outcomes
         )
         parallel_section = {
             "workers": workers,
@@ -211,7 +226,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "per_job": [
                 {"job": f"sim {result.workload_name} {name}",
                  "seconds": result.elapsed_seconds}
-                for name, result, _, _ in outcomes
+                for name, result, _, _, _ in outcomes
             ],
         }
     print()
@@ -242,13 +257,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(timing_table.render())
     if args.metrics_out:
-        for policy, (result, events_summary, spans_flat) in telemetry.items():
+        for policy, (
+            result,
+            events_summary,
+            spans_flat,
+            engine_used,
+        ) in telemetry.items():
             manifest = sim_manifest(
                 result,
                 config=manifest_config,
                 events_summary=events_summary,
                 spans_flat=spans_flat,
                 parallel=parallel_section,
+                engine=engine_used,
             )
             path = write_manifest(manifest, args.metrics_out)
             print(f"wrote {path}")

@@ -12,7 +12,7 @@ displayable color variant (e.g. ``gspc+ucd``, ``drrip+ucd``).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple, Union
 
 from repro.core.base import ReplacementPolicy
 from repro.core.belady import BeladyPolicy
@@ -102,6 +102,36 @@ def policy_spec(name: str) -> PolicySpec:
         uncached_streams=uncached,
         factory=factory,
     )
+
+
+#: Anything the simulators accept as a policy argument.
+PolicyLike = Union[str, PolicySpec, ReplacementPolicy]
+
+
+def resolve_policy(
+    policy: PolicyLike, uncached_streams: Optional[Iterable[Stream]] = None
+) -> "Tuple[ReplacementPolicy, FrozenSet[Stream]]":
+    """Resolve a name/spec/instance into ``(instance, uncached streams)``.
+
+    The shared front door of both simulation engines: a registry name
+    (``"gspc+ucd"``) resolves through :func:`policy_spec`, a
+    :class:`PolicySpec` is built directly, and a ready policy instance
+    passes through.  An explicit ``uncached_streams`` overrides whatever
+    the spec declares (e.g. the ``+ucd`` suffix).
+    """
+    if isinstance(policy, str):
+        spec = policy_spec(policy)
+        instance = spec.build()
+        uncached = spec.uncached_streams
+    elif isinstance(policy, PolicySpec):
+        instance = policy.build()
+        uncached = policy.uncached_streams
+    else:
+        instance = policy
+        uncached = frozenset()
+    if uncached_streams is not None:
+        uncached = frozenset(uncached_streams)
+    return instance, uncached
 
 
 def make_policy(name: str, **kwargs: object) -> ReplacementPolicy:

@@ -38,6 +38,10 @@ class ExperimentConfig:
     llc_mb: int = 8
     #: Directory for memoised frame traces (None disables the cache).
     cache_dir: Optional[str] = ".repro_cache"
+    #: Replay engine for offline simulations ("reference", "fast", or
+    #: "auto").  Deliberately absent from the result-cache key: engines
+    #: are result-identical, so cached entries are engine-agnostic.
+    engine: str = "auto"
 
     def system(self) -> SystemConfig:
         return paper_baseline(llc_mb=self.llc_mb, scale=self.scale)
@@ -92,7 +96,7 @@ def frame_result(
     key = _cache_key(spec, policy, config)
     if key not in _SIM_CACHE:
         _SIM_CACHE[key] = simulate_trace(
-            frame_trace(spec, config), policy, config.llc()
+            frame_trace(spec, config), policy, config.llc(), engine=config.engine
         )
     return _SIM_CACHE[key]
 

@@ -24,6 +24,7 @@ from repro.experiments.common import (
     all_experiments,
     get_experiment,
 )
+from repro.fastsim.dispatch import ENGINE_AUTO, ENGINES
 from repro.obs import log as obs_log
 from repro.obs.manifest import experiment_manifest, write_manifest
 from repro.obs.spans import SpanRecorder
@@ -73,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="parallel worker processes (0 = one per CPU; default: serial)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=ENGINE_AUTO,
+        help="replay engine for offline simulations (auto picks the fast "
+        "kernels whenever the policy is covered; results are identical)",
     )
     parser.add_argument(
         "--csv", metavar="DIR", help="also write each table as CSV into DIR"
@@ -216,6 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         scale=args.scale,
         frames_per_app=None if args.full else args.frames_per_app,
         cache_dir=None if args.no_cache else ".repro_cache",
+        engine=args.engine,
     )
     return run_experiments(
         ids, config, args.csv, args.metrics_out, workers=workers

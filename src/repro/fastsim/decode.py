@@ -1,0 +1,100 @@
+"""Trace pre-decoding for the fast replay kernels.
+
+One vectorized pass turns a :class:`~repro.trace.record.Trace` into the
+flat Python lists the kernels iterate: block addresses, set indices,
+streams, stream classes, write flags, and (for Belady) next-use
+indices.  Statically uncached streams are accounted here — vectorized
+``isin``/``bincount`` replaces the reference engine's per-access bypass
+branch — and filtered out of the replay arrays entirely, so the kernels
+never see them.
+
+Next-use indices are computed on the *full* trace before the uncached
+filter, exactly like the reference simulator: a bypassed access still
+counts as a future use of its block there (it never does in practice —
+uncached streams touch disjoint surfaces — but equivalence is
+byte-for-byte, not approximate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.future import next_use_indices
+from repro.streams import STREAM_CLASS_TABLE, Stream
+from repro.trace.record import Trace
+
+_NUM_STREAMS = len(Stream)
+_CLASS_TABLE = np.array(STREAM_CLASS_TABLE, dtype=np.uint8)
+
+
+@dataclasses.dataclass
+class DecodedTrace:
+    """Replay-ready arrays plus the pre-counted bypass statistics."""
+
+    blocks: List[int]
+    #: Base slot of each access's set (``set_index * ways``), so the
+    #: kernels index per-set state without a per-access multiply.
+    bases: List[int]
+    streams: List[int]
+    sclasses: List[int]
+    writes: List[bool]
+    #: Next-use index per replayed access (``None`` unless Belady).
+    next_uses: Optional[List[int]]
+    #: Bypass count per ``int(Stream)`` (uncached streams only).
+    bypasses_per_stream: List[int]
+    #: DRAM traffic of the bypassed accesses.
+    bypass_reads: int
+    bypass_writes: int
+
+
+def decode_trace(
+    trace: Trace,
+    geometry: CacheGeometry,
+    uncached: FrozenSet[Stream] = frozenset(),
+    needs_future: bool = False,
+) -> DecodedTrace:
+    """Pre-decode ``trace`` for replay under ``geometry``."""
+    blocks = trace.block_addresses(geometry.block_bytes)
+    streams = trace.streams
+    writes = trace.writes
+    next_uses = next_use_indices(blocks) if needs_future else None
+
+    bypasses = [0] * _NUM_STREAMS
+    bypass_reads = 0
+    bypass_writes = 0
+    if uncached:
+        uncached_ids = np.fromiter(
+            (int(stream) for stream in uncached), dtype=np.uint8
+        )
+        mask = np.isin(streams, uncached_ids)
+        if mask.any():
+            counts = np.bincount(streams[mask], minlength=_NUM_STREAMS)
+            bypasses = [int(count) for count in counts]
+            bypass_writes = int(writes[mask].sum())
+            bypass_reads = int(mask.sum()) - bypass_writes
+            keep = ~mask
+            blocks = blocks[keep]
+            streams = streams[keep]
+            writes = writes[keep]
+            if next_uses is not None:
+                next_uses = next_uses[keep]
+
+    bases = (blocks & np.uint64(geometry.num_sets - 1)) * np.uint64(
+        geometry.ways
+    )
+    sclasses = _CLASS_TABLE[streams]
+    return DecodedTrace(
+        blocks=blocks.tolist(),
+        bases=bases.tolist(),
+        streams=streams.tolist(),
+        sclasses=sclasses.tolist(),
+        writes=writes.tolist(),
+        next_uses=next_uses.tolist() if next_uses is not None else None,
+        bypasses_per_stream=bypasses,
+        bypass_reads=bypass_reads,
+        bypass_writes=bypass_writes,
+    )

@@ -1,0 +1,94 @@
+"""Engine selection: which runs may take the fast replay path.
+
+The fast engine covers the policies whose per-access transitions are
+simple enough to specialize into a flat loop: ``nru``, ``lru``,
+``srrip``, ``drrip`` (any RRPV width, set-dueling included) and
+``belady``.  Everything else — the GSPC family, SHiP, and any run that
+attaches an :class:`~repro.cache.llc.LLCObserver` (the fast kernels
+have no event hooks) — uses the reference engine.
+
+``auto`` (the default everywhere) picks the fast engine exactly when it
+is applicable and silently falls back otherwise, so results never
+change with the engine knob; ``fast`` is strict and raises when the run
+cannot take the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import ReplacementPolicy
+from repro.core.belady import BeladyPolicy
+from repro.core.drrip import DRRIPPolicy
+from repro.core.lru import LRUPolicy
+from repro.core.nru import NRUPolicy
+from repro.core.registry import PolicyLike, resolve_policy
+from repro.core.srrip import SRRIPPolicy
+from repro.errors import SimulationError
+
+ENGINE_REFERENCE = "reference"
+ENGINE_FAST = "fast"
+ENGINE_AUTO = "auto"
+#: Valid ``--engine`` values.
+ENGINES = (ENGINE_REFERENCE, ENGINE_FAST, ENGINE_AUTO)
+
+#: Exact policy classes with a specialized kernel, keyed to the kernel
+#: name.  Exact type checks, not ``isinstance``: a subclass (GS-DRRIP
+#: derives from DRRIP, SHiP from SRRIP) overrides hooks the kernel has
+#: inlined, so it must take the reference path.
+_KERNEL_OF_TYPE = {
+    NRUPolicy: "nru",
+    LRUPolicy: "lru",
+    SRRIPPolicy: "srrip",
+    DRRIPPolicy: "drrip",
+    BeladyPolicy: "belady",
+}
+
+#: Registry base names covered by the fast engine (each also accepts
+#: ``+ucd`` and, for DRRIP, any RRPV width — coverage is by class).
+FAST_POLICIES = ("belady", "drrip", "drrip4", "lru", "nru", "srrip")
+
+
+def kernel_kind(instance: ReplacementPolicy) -> Optional[str]:
+    """The kernel name for a bound-ready policy instance, or ``None``."""
+    return _KERNEL_OF_TYPE.get(type(instance))
+
+
+def supports_policy(policy: PolicyLike) -> bool:
+    """Whether the fast engine has a kernel for ``policy``."""
+    instance, _ = resolve_policy(policy)
+    return kernel_kind(instance) is not None
+
+
+def choose_engine(
+    engine: str, policy: PolicyLike, observer: Optional[object] = None
+) -> str:
+    """Resolve an ``--engine`` request into ``reference`` or ``fast``.
+
+    Raises :class:`~repro.errors.SimulationError` for an unknown engine
+    name, and for ``fast`` when the run cannot take the fast path (the
+    policy has no kernel, or an observer is attached).
+    """
+    if engine not in ENGINES:
+        known = ", ".join(ENGINES)
+        raise SimulationError(f"unknown engine {engine!r}; expected one of: {known}")
+    if engine == ENGINE_REFERENCE:
+        return ENGINE_REFERENCE
+    instance, _ = resolve_policy(policy)
+    covered = kernel_kind(instance) is not None
+    if engine == ENGINE_FAST:
+        if observer is not None:
+            raise SimulationError(
+                "the fast engine has no observer hooks; drop the observer "
+                "or use --engine reference"
+            )
+        if not covered:
+            supported = ", ".join(FAST_POLICIES)
+            raise SimulationError(
+                f"policy {instance.name!r} is not covered by the fast engine "
+                f"(covered: {supported}); use --engine auto or reference"
+            )
+        return ENGINE_FAST
+    if observer is not None or not covered:
+        return ENGINE_REFERENCE
+    return ENGINE_FAST

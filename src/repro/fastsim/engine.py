@@ -1,0 +1,118 @@
+"""The fast engine's ``simulate_trace`` equivalent.
+
+``fast_simulate_trace`` mirrors :func:`repro.sim.offline.simulate_trace`
+observable-for-observable: the same ``setup``/``replay`` span names,
+the same ``SimResult`` fields, the same stats, and the same
+``fill_distant_fraction`` extras for RRIP-family policies.  It refuses
+(rather than silently degrading) to run a policy without a kernel —
+engine *selection* lives in :mod:`repro.fastsim.dispatch`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import LLCStats
+from repro.config import LLCConfig
+from repro.core.registry import PolicyLike, resolve_policy
+from repro.core.rrip import RRIPPolicy
+from repro.errors import SimulationError
+from repro.fastsim.decode import decode_trace
+from repro.fastsim.dispatch import kernel_kind
+from repro.fastsim.kernels import kernel_for, kernel_params
+from repro.obs.spans import SpanRecorder
+from repro.sim.results import SimResult
+from repro.streams import ALL_STREAMS, Stream, StreamClass
+from repro.trace.record import Trace
+
+
+def fast_simulate_trace(
+    trace: Trace,
+    policy: PolicyLike,
+    llc_config: Optional[LLCConfig] = None,
+    uncached_streams: Optional[Iterable[Stream]] = None,
+    spans: Optional[SpanRecorder] = None,
+) -> SimResult:
+    """Replay ``trace`` under ``policy`` through the fast engine."""
+    if spans is None:
+        spans = SpanRecorder()
+    instance, uncached = resolve_policy(policy, uncached_streams)
+    kind = kernel_kind(instance)
+    if kind is None:
+        raise SimulationError(
+            f"policy {instance.name!r} has no fast kernel; "
+            "route it through the reference engine"
+        )
+    geometry = CacheGeometry.from_config(llc_config or LLCConfig())
+    kernel = kernel_for(kind)
+    params = kernel_params(instance, geometry.num_sets)
+
+    setup_started = time.perf_counter()
+    with spans.span("setup"):
+        decoded = decode_trace(
+            trace, geometry, uncached, needs_future=instance.needs_future
+        )
+    setup_seconds = time.perf_counter() - setup_started
+
+    replay_started = time.perf_counter()
+    with spans.span("replay"):
+        counters = kernel(
+            decoded.blocks,
+            decoded.bases,
+            decoded.streams,
+            decoded.sclasses,
+            decoded.writes,
+            decoded.next_uses,
+            geometry.num_sets,
+            geometry.ways,
+            params,
+        )
+    replay_seconds = time.perf_counter() - replay_started
+
+    result = SimResult(
+        policy=instance.name,
+        stats=_assemble_stats(counters, decoded),
+        accesses=len(trace),
+        elapsed_seconds=setup_seconds + replay_seconds,
+        setup_seconds=setup_seconds,
+        replay_seconds=replay_seconds,
+        trace_meta=dict(trace.meta),
+    )
+    if isinstance(instance, RRIPPolicy):
+        result.extras["fill_distant_fraction"] = _fill_distant_fractions(
+            counters["fill_counts"], instance.distant_rrpv
+        )
+    return result
+
+
+def _assemble_stats(counters: dict, decoded) -> LLCStats:
+    stats = LLCStats()
+    hits = counters["hits"]
+    misses = counters["misses"]
+    for stream in ALL_STREAMS:
+        per_stream = stats.per_stream[stream]
+        index = int(stream)
+        per_stream.hits = hits[index]
+        per_stream.misses = misses[index]
+        per_stream.bypasses = decoded.bypasses_per_stream[index]
+    stats.evictions = counters["evictions"]
+    stats.writebacks = counters["writebacks"]
+    stats.fills = counters["fills"]
+    stats.tex_inter_hits = counters["tex_inter_hits"]
+    stats.tex_intra_hits = counters["tex_intra_hits"]
+    stats.rt_produced = counters["rt_produced"]
+    stats.rt_consumed = counters["rt_consumed"]
+    stats.dram_reads = counters["dram_reads"] + decoded.bypass_reads
+    stats.dram_writes = counters["dram_writes"] + decoded.bypass_writes
+    return stats
+
+
+def _fill_distant_fractions(fill_counts, distant_rrpv: int) -> dict:
+    fractions = {}
+    for sclass in StreamClass:
+        counts = fill_counts[int(sclass)]
+        total = sum(counts)
+        fractions[sclass.name] = counts[distant_rrpv] / total if total else 0.0
+    return fractions

@@ -1,0 +1,301 @@
+"""Specialized per-policy replay kernels, generated from one template.
+
+The reference engine pays, per access, an ``AccessContext`` refresh,
+several method dispatches, and a per-set dict lookup.  Each kernel here
+is a single generated function: the engine's hit/fill/evict bookkeeping
+inlined into one loop, with the policy's state transitions substituted
+at the marked points and all state held in flat Python lists plus one
+global ``{block: slot}`` dict (a block address determines its set, so
+one dict replaces the per-set lookups).  Generating every kernel from
+the same template keeps the engine semantics single-source — a policy
+only contributes its ``setup`` / ``on hit`` / ``select victim`` /
+``on fill`` snippets, mirroring the hook interface of
+:class:`~repro.core.base.ReplacementPolicy` line for line.
+
+Victim-selection snippets must leave the chosen slot in ``slot``;
+``base`` is the set's first slot and ``end`` the one past its last.
+They lean on C-level list primitives — ``list.index`` with bounds,
+``min``/``max`` over a slice, slice assignment — instead of Python
+``for`` loops, which is where most of the engine's speedup comes from
+on miss-heavy traces.  Stream-class constants are inlined: ``1`` is
+TEX, ``2`` is RT (:data:`repro.streams.StreamClass`).
+"""
+
+from __future__ import annotations
+
+import string
+import textwrap
+from typing import Callable, Dict
+
+from repro.core.base import NEVER
+from repro.core.brrip import BIMODAL_PERIOD
+from repro.core.dueling import leader_roles
+from repro.core.rrip import RRIPPolicy
+from repro.errors import SimulationError
+
+_TEMPLATE = string.Template("""\
+def replay(blocks, bases, streams, sclasses, writes, next_uses,
+           num_sets, ways, params):
+    total_slots = num_sets * ways
+    lookup = {}
+    lookup_get = lookup.get
+    # Per-set state is indexed by the set's base slot (set * ways, as
+    # pre-decoded into ``bases``) so the loop never multiplies.
+    filled = [0] * total_slots
+    tags = [0] * total_slots
+    dirty = [False] * total_slots
+    rt = [False] * total_slots
+${setup}
+    hits_s = [0] * 8
+    misses_s = [0] * 8
+    evictions = 0
+    writebacks = 0
+    fills = 0
+    tex_inter = 0
+    tex_intra = 0
+    rt_prod = 0
+    rt_cons = 0
+    dram_reads = 0
+    dram_writes = 0
+    for ${loop_vars} in zip(${loop_srcs}):
+        slot = lookup_get(block)
+        if slot is not None:
+            hits_s[stream] += 1
+            if sclass == 1:
+                if rt[slot]:
+                    tex_inter += 1
+                    rt_cons += 1
+                    rt[slot] = False
+                else:
+                    tex_intra += 1
+            elif sclass == 2 and not rt[slot]:
+                rt[slot] = True
+                rt_prod += 1
+            if write:
+                dirty[slot] = True
+${on_hit}
+            continue
+        misses_s[stream] += 1
+        dram_reads += 1
+        count = filled[base]
+        if count < ways:
+            slot = base + count
+            filled[base] = count + 1
+        else:
+            end = base + ways
+${select_victim}
+            evictions += 1
+            if dirty[slot]:
+                writebacks += 1
+                dram_writes += 1
+            del lookup[tags[slot]]
+        fills += 1
+        lookup[block] = slot
+        tags[slot] = block
+        dirty[slot] = write
+        if sclass == 2:
+            rt[slot] = True
+            rt_prod += 1
+        else:
+            rt[slot] = False
+${on_fill}
+    return {
+        "hits": hits_s,
+        "misses": misses_s,
+        "evictions": evictions,
+        "writebacks": writebacks,
+        "fills": fills,
+        "tex_inter_hits": tex_inter,
+        "tex_intra_hits": tex_intra,
+        "rt_produced": rt_prod,
+        "rt_consumed": rt_cons,
+        "dram_reads": dram_reads,
+        "dram_writes": dram_writes,
+        "fill_counts": ${fill_counts},
+    }
+""")
+
+# RRPVs are stored *relative* to a per-set aging offset: the effective
+# RRPV of a block is ``rrpv[slot] + age[base]``.  The reference engine's
+# aging step adds (max - oldest) to every block in the set, which the
+# offset absorbs in O(1) — orderings inside a set are unchanged because
+# the offset is common to all its blocks.
+_RRIP_SETUP = """\
+max_rrpv = params["max_rrpv"]
+long_rrpv = max_rrpv - 1
+rrpv = [max_rrpv] * total_slots
+age = [0] * total_slots
+fill_counts = [[0] * (max_rrpv + 1) for _ in range(4)]
+"""
+
+# First way at the maximal effective RRPV wins.  After the reference
+# engine's aging the set maximum is exactly ``max_rrpv``, so the new
+# offset is always ``max_rrpv - oldest_stored`` (a no-op when the set
+# already held a saturated block).
+_RRIP_VICTIM = """\
+seg = rrpv[base:end]
+oldest = max(seg)
+slot = base + seg.index(oldest)
+age[base] = max_rrpv - oldest
+"""
+
+_LRU_TOUCH = """\
+clock = clocks[base] + 1
+clocks[base] = clock
+stamps[slot] = clock
+"""
+
+# DRRIP fill: leader misses move PSEL first, then the set's role (or
+# the duel winner, for followers) picks SRRIP or BRRIP insertion.
+# Roles: 1 = SRRIP leader, 2 = BRRIP leader, 0 = follower.
+_DRRIP_FILL = """\
+role = roles_by_base[base]
+if role == 1:
+    if psel < psel_max:
+        psel += 1
+    value = long_rrpv
+elif role == 2:
+    if psel > 0:
+        psel -= 1
+    fill_tick += 1
+    if fill_tick >= bimodal_period:
+        fill_tick = 0
+        value = long_rrpv
+    else:
+        value = max_rrpv
+elif psel > psel_mid:
+    fill_tick += 1
+    if fill_tick >= bimodal_period:
+        fill_tick = 0
+        value = long_rrpv
+    else:
+        value = max_rrpv
+else:
+    value = long_rrpv
+rrpv[slot] = value - age[base]
+fill_counts[sclass][value] += 1
+"""
+
+_SPECS: Dict[str, Dict[str, object]] = {
+    "nru": {
+        "setup": (
+            "referenced = [False] * total_slots\n"
+            "clear_ways = [False] * ways"
+        ),
+        "on_hit": "referenced[slot] = True",
+        "select_victim": """\
+try:
+    slot = referenced.index(False, base, end)
+except ValueError:
+    referenced[base:end] = clear_ways
+    slot = base
+""",
+        "on_fill": "referenced[slot] = True",
+    },
+    "lru": {
+        "setup": "stamps = [0] * total_slots\nclocks = [0] * total_slots",
+        "on_hit": _LRU_TOUCH,
+        "select_victim": """\
+seg = stamps[base:end]
+slot = base + seg.index(min(seg))
+""",
+        "on_fill": _LRU_TOUCH,
+    },
+    "srrip": {
+        "setup": _RRIP_SETUP,
+        "on_hit": "rrpv[slot] = -age[base]",
+        "select_victim": _RRIP_VICTIM,
+        "on_fill": (
+            "rrpv[slot] = long_rrpv - age[base]\n"
+            "fill_counts[sclass][long_rrpv] += 1"
+        ),
+        "fill_counts": True,
+    },
+    "drrip": {
+        "setup": _RRIP_SETUP
+        + """\
+roles = params["roles"]
+roles_by_base = [0] * total_slots
+for set_i in range(num_sets):
+    roles_by_base[set_i * ways] = roles[set_i]
+psel = params["psel_midpoint"]
+psel_mid = params["psel_midpoint"]
+psel_max = params["psel_max"]
+bimodal_period = params["bimodal_period"]
+fill_tick = 0
+""",
+        "on_hit": "rrpv[slot] = -age[base]",
+        "select_victim": _RRIP_VICTIM,
+        "on_fill": _DRRIP_FILL,
+        "fill_counts": True,
+    },
+    "belady": {
+        "setup": 'next_slot = [params["never"]] * total_slots',
+        "on_hit": "next_slot[slot] = next_use",
+        "select_victim": """\
+seg = next_slot[base:end]
+slot = base + seg.index(max(seg))
+""",
+        "on_fill": "next_slot[slot] = next_use",
+        "needs_future": True,
+    },
+}
+
+_COMPILED: Dict[str, Callable] = {}
+
+
+def kernel_source(kind: str) -> str:
+    """The generated source of one kernel (also kept on the function)."""
+    if kind not in _SPECS:
+        known = ", ".join(sorted(_SPECS))
+        raise SimulationError(f"no fast kernel {kind!r}; known kernels: {known}")
+    spec = _SPECS[kind]
+    loop_vars = "block, base, stream, sclass, write"
+    loop_srcs = "blocks, bases, streams, sclasses, writes"
+    if spec.get("needs_future"):
+        loop_vars += ", next_use"
+        loop_srcs += ", next_uses"
+    return _TEMPLATE.substitute(
+        setup=textwrap.indent(str(spec["setup"]).rstrip(), " " * 4),
+        on_hit=textwrap.indent(str(spec["on_hit"]).rstrip(), " " * 12),
+        select_victim=textwrap.indent(
+            str(spec["select_victim"]).rstrip(), " " * 12
+        ),
+        on_fill=textwrap.indent(str(spec["on_fill"]).rstrip(), " " * 8),
+        loop_vars=loop_vars,
+        loop_srcs=loop_srcs,
+        fill_counts="fill_counts" if spec.get("fill_counts") else "None",
+    )
+
+
+def kernel_for(kind: str) -> Callable:
+    """Compile (once) and return the replay kernel named ``kind``."""
+    kernel = _COMPILED.get(kind)
+    if kernel is None:
+        source = kernel_source(kind)
+        namespace: Dict[str, object] = {}
+        exec(compile(source, f"<fastsim-kernel:{kind}>", "exec"), namespace)
+        kernel = namespace["replay"]
+        kernel.__name__ = f"replay_{kind}"
+        kernel.__source__ = source
+        _COMPILED[kind] = kernel
+    return kernel
+
+
+def kernel_params(instance, num_sets: int) -> Dict[str, object]:
+    """Per-run parameters a kernel reads from its policy instance."""
+    if isinstance(instance, RRIPPolicy):
+        params: Dict[str, object] = {"max_rrpv": instance.max_rrpv}
+        if hasattr(instance, "psel_bits"):  # DRRIP set-dueling state
+            params.update(
+                roles=leader_roles(
+                    num_sets, target_leaders=instance.target_leaders
+                ),
+                psel_max=(1 << instance.psel_bits) - 1,
+                psel_midpoint=1 << (instance.psel_bits - 1),
+                bimodal_period=BIMODAL_PERIOD,
+            )
+        return params
+    if getattr(instance, "needs_future", False):
+        return {"never": NEVER}
+    return {}

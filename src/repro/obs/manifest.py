@@ -102,6 +102,7 @@ def sim_manifest(
     events_summary: Optional[Mapping[str, object]] = None,
     spans_flat: Optional[Mapping[str, object]] = None,
     parallel: Optional[Mapping[str, object]] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, object]:
     """Manifest for one :class:`~repro.sim.results.SimResult`.
 
@@ -109,7 +110,9 @@ def sim_manifest(
     (serial runs) or as the pre-serialized ``events_summary`` /
     ``spans_flat`` a ``--jobs`` worker shipped back across the process
     boundary.  ``parallel`` attaches the execution report of the run
-    that produced this result.
+    that produced this result.  ``engine`` records which replay engine
+    produced the result (``"reference"`` or ``"fast"``, never the
+    unresolved ``"auto"``).
     """
     manifest = _envelope(
         "offline-sim",
@@ -127,6 +130,8 @@ def sim_manifest(
     )
     if parallel is not None:
         manifest["parallel"] = _jsonable(parallel)
+    if engine is not None:
+        manifest["engine"] = engine
     return manifest
 
 
@@ -273,6 +278,11 @@ def validate_manifest(manifest: Mapping[str, object]) -> List[str]:
                 problems.append(f"events summary missing {key!r}")
     if "parallel" in manifest:
         problems.extend(_validate_parallel(manifest["parallel"]))
+    engine = manifest.get("engine")
+    if engine is not None and engine not in ("reference", "fast"):
+        problems.append(
+            f"engine must be 'reference' or 'fast', got {engine!r}"
+        )
     return problems
 
 

@@ -131,7 +131,9 @@ def execute_job(job: SimJob, config: ExperimentConfig) -> JobOutcome:
 
         with spans.span("trace"):
             trace = frame_trace(spec, config)
-        value = simulate_trace(trace, job.policy, config.llc(), spans=spans)
+        value = simulate_trace(
+            trace, job.policy, config.llc(), spans=spans, engine=config.engine
+        )
     else:  # char
         from repro.analysis.characterize import characterize_frame
 

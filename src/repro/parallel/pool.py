@@ -137,23 +137,32 @@ def run_jobs(
 # -- per-policy simulation fan-out (gspc-sim) --------------------------------
 
 def _simulate_policy(
-    trace, policy: str, llc_config, telemetry: bool
-) -> Tuple[str, object, Optional[dict], Optional[dict]]:
+    trace, policy: str, llc_config, telemetry: bool, engine: str
+) -> Tuple[str, object, Optional[dict], Optional[dict], str]:
     """Worker: replay one policy; returns pickled-down telemetry."""
+    from repro.fastsim.dispatch import ENGINE_FAST, choose_engine
     from repro.obs.events import SamplingObserver
     from repro.obs.spans import SpanRecorder
     from repro.sim.offline import simulate_trace
 
-    observer = SamplingObserver() if telemetry else None
+    # An explicit --engine fast wins over telemetry: the fast kernels
+    # have no observer hooks, so such runs record spans but no events.
+    # Under auto, telemetry keeps the observer and therefore routes the
+    # policy to the reference engine.
+    observer = (
+        SamplingObserver() if telemetry and engine != ENGINE_FAST else None
+    )
     spans = SpanRecorder() if telemetry else None
+    engine_used = choose_engine(engine, policy, observer)
     result = simulate_trace(
-        trace, policy, llc_config, observer=observer, spans=spans
+        trace, policy, llc_config, observer=observer, spans=spans, engine=engine
     )
     return (
         result.policy,
         result,
         observer.summary() if observer is not None else None,
         spans.flat() if spans is not None else None,
+        engine_used,
     )
 
 
@@ -163,20 +172,25 @@ def run_policy_sims(
     llc_config,
     workers: int,
     telemetry: bool = False,
-) -> List[Tuple[str, object, Optional[dict], Optional[dict]]]:
+    engine: str = "auto",
+) -> List[Tuple[str, object, Optional[dict], Optional[dict], str]]:
     """Replay ``trace`` under each policy, fanned out over ``workers``.
 
     Results come back in ``policies`` order (not completion order), each
-    as ``(resolved_name, SimResult, events_summary, spans_flat)``.
+    as ``(resolved_name, SimResult, events_summary, spans_flat,
+    engine_used)`` where ``engine_used`` is ``"reference"`` or
+    ``"fast"`` (the resolved choice, never ``"auto"``).
     """
     if workers <= 1 or len(policies) <= 1:
         return [
-            _simulate_policy(trace, policy, llc_config, telemetry)
+            _simulate_policy(trace, policy, llc_config, telemetry, engine)
             for policy in policies
         ]
     with ProcessPoolExecutor(max_workers=min(workers, len(policies))) as pool:
         futures = [
-            pool.submit(_simulate_policy, trace, policy, llc_config, telemetry)
+            pool.submit(
+                _simulate_policy, trace, policy, llc_config, telemetry, engine
+            )
             for policy in policies
         ]
         return [future.result() for future in futures]

@@ -9,7 +9,7 @@ import pytest
 from repro.cache.geometry import CacheGeometry
 from repro.config import KB, CacheParams, LLCConfig
 from repro.streams import Stream
-from repro.trace.record import Trace, TraceBuilder
+from repro.trace.record import Trace
 
 
 @pytest.fixture

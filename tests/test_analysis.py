@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.characterize import characterize_frame
 from repro.analysis.tables import Table, format_table, mean
 from repro.config import CacheParams, KB, LLCConfig
-from repro.streams import Stream
 from repro.trace import synth
 
 

@@ -112,6 +112,73 @@ def test_parser_defaults():
     assert args.metrics_out is None
     assert args.log_level is None  # resolved via $REPRO_LOG_LEVEL
     assert not args.verbose
+    assert args.engine == "auto"
+
+
+def test_unknown_engine_exits_2(tiny_trace_path, capsys):
+    # argparse rejects values outside its choices with usage + exit 2.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--trace", tiny_trace_path, "--engine", "turbo"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_engine_fast_rejects_uncovered_policy(tiny_trace_path, capsys):
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "gspc", "--engine", "fast"]
+    ) == 1
+    assert "not covered by the fast engine" in capsys.readouterr().err
+
+
+def test_engine_auto_falls_back_for_uncovered_policy(tiny_trace_path, capsys):
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "gspc", "--engine", "auto"]
+    ) == 0
+    assert "GSPC" in capsys.readouterr().out
+
+
+def test_engine_fast_matches_reference_table(tiny_trace_path, capsys):
+    policies = ["--policies", "drrip", "nru", "belady"]
+    assert main(
+        ["--trace", tiny_trace_path, *policies, "--engine", "reference"]
+    ) == 0
+    reference = capsys.readouterr().out
+    assert main(
+        ["--trace", tiny_trace_path, *policies, "--engine", "fast"]
+    ) == 0
+    assert capsys.readouterr().out == reference
+
+
+def test_engine_recorded_in_manifest(tiny_trace_path, tmp_path):
+    out = tmp_path / "m"
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "drrip", "gspc",
+         "--metrics-out", str(out)]
+    ) == 0
+    import json
+
+    by_policy = {}
+    for name in os.listdir(out):
+        manifest = json.loads((out / name).read_text())
+        by_policy[manifest["policy"]] = manifest
+    # Telemetry (--metrics-out) keeps the observer, so auto resolves to
+    # the reference engine for every policy; the field is still emitted.
+    assert by_policy["drrip"]["engine"] == "reference"
+    assert by_policy["gspc"]["engine"] == "reference"
+
+
+def test_engine_fast_manifest_records_fast(tiny_trace_path, tmp_path):
+    out = tmp_path / "m"
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "drrip",
+         "--engine", "fast", "--metrics-out", str(out)]
+    ) == 0
+    import json
+
+    [name] = os.listdir(out)
+    manifest = json.loads((out / name).read_text())
+    assert manifest["engine"] == "fast"
+    assert manifest["events"] is None  # fast kernels have no observer
 
 
 def test_verbose_sets_debug_level(tiny_trace_path):

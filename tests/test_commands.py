@@ -15,7 +15,6 @@ from repro.workloads.commands import (
     Present,
     SetPipelineState,
     SetTargets,
-    capture_commands,
     passes_from_commands,
 )
 from repro.workloads.framegen import build_frame_passes, build_resources

@@ -24,7 +24,6 @@ def test_row_conflict_detected():
     config = DDR3_1600
     dram.request(0)
     # Same channel and bank (block + channels*banks blocks), new row.
-    stride = config.channels * config.banks_per_channel * 64
     far = config.row_bytes * config.channels * config.banks_per_channel
     dram.request(far)
     assert dram.total_row_hits == 0

@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.config import paper_baseline
-from repro.core.gspc_bypass import GSPCBypassPolicy
 from repro.errors import WorkloadError
 from repro.sim.offline import build_llc, simulate_trace
 from repro.streams import Stream

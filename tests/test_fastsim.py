@@ -1,0 +1,168 @@
+"""Fast replay engine: dispatch rules and reference equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import KB, CacheParams, LLCConfig
+from repro.errors import SimulationError
+from repro.fastsim import (
+    ENGINES,
+    FAST_POLICIES,
+    choose_engine,
+    fast_simulate_trace,
+    supports_policy,
+)
+from repro.fastsim.kernels import kernel_for, kernel_source
+from repro.obs.events import SamplingObserver
+from repro.sim.offline import simulate_trace
+from repro.streams import Stream
+from repro.trace import synth
+from repro.trace.record import Trace
+
+TINY = LLCConfig(params=CacheParams(2 * KB, ways=2), banks=1, sample_period=4)
+
+small_traces = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=63),  # block
+        st.integers(min_value=0, max_value=7),  # stream
+        st.booleans(),  # write
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _trace_from(entries) -> Trace:
+    addresses = np.array([b * 64 for b, _, _ in entries], dtype=np.uint64)
+    streams = np.array([s for _, s, _ in entries], dtype=np.uint8)
+    writes = np.array([w for _, _, w in entries], dtype=bool)
+    return Trace(addresses, streams, writes, {"name": "hyp"})
+
+
+def _fingerprint(result):
+    return (
+        result.policy,
+        result.accesses,
+        result.stats.snapshot(),
+        result.extras,
+    )
+
+
+# -- equivalence with the reference engine ------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(entries=small_traces, policy=st.sampled_from(FAST_POLICIES))
+def test_fast_engine_matches_reference(entries, policy):
+    """Identical SimResult stats/extras on arbitrary small traces."""
+    trace = _trace_from(entries)
+    reference = simulate_trace(trace, policy, TINY, engine="reference")
+    fast = simulate_trace(trace, policy, TINY, engine="fast")
+    assert _fingerprint(fast) == _fingerprint(reference)
+
+
+@pytest.mark.parametrize("policy", [name + "+ucd" for name in FAST_POLICIES])
+def test_fast_engine_matches_reference_with_uncached_streams(policy):
+    """Static color/depth bypass accounting matches per stream."""
+    trace = synth.interleaved_streams(
+        96, 3, streams=(Stream.Z, Stream.RT, Stream.TEXTURE, Stream.DISPLAY)
+    )
+    reference = simulate_trace(trace, policy, TINY, engine="reference")
+    fast = simulate_trace(trace, policy, TINY, engine="fast")
+    assert _fingerprint(fast) == _fingerprint(reference)
+
+
+def test_fast_engine_matches_reference_on_rt_tex_pattern():
+    """RT->TEX consumption counters survive the kernel specialization."""
+    trace = synth.producer_consumer(24, 4, consume_fraction=0.8)
+    for policy in ("drrip", "srrip"):
+        reference = simulate_trace(trace, policy, TINY, engine="reference")
+        fast = simulate_trace(trace, policy, TINY, engine="fast")
+        assert _fingerprint(fast) == _fingerprint(reference)
+        assert reference.stats.rt_consumed > 0  # the pattern fired at all
+
+
+def test_fast_result_reports_timing_and_meta():
+    trace = synth.cyclic_scan(64, 3)
+    result = fast_simulate_trace(trace, "lru", TINY)
+    assert result.accesses == len(trace)
+    assert result.trace_meta["name"] == "cyclic_scan(64x3)"
+    assert result.elapsed_seconds >= result.replay_seconds >= 0.0
+
+
+# -- dispatch rules -----------------------------------------------------------
+
+
+def test_engines_tuple_and_coverage():
+    assert ENGINES == ("reference", "fast", "auto")
+    for policy in FAST_POLICIES:
+        assert supports_policy(policy)
+        assert supports_policy(policy + "+ucd")
+    for policy in ("gspc", "gspc+ucd", "ship-mem", "gs-drrip", "gspztc"):
+        assert not supports_policy(policy)
+
+
+def test_choose_engine_auto_falls_back_for_uncovered_policy():
+    assert choose_engine("auto", "gspc") == "reference"
+    assert choose_engine("auto", "drrip") == "fast"
+
+
+def test_choose_engine_auto_falls_back_under_observer():
+    observer = SamplingObserver()
+    assert choose_engine("auto", "drrip", observer) == "reference"
+
+
+def test_choose_engine_reference_always_allowed():
+    assert choose_engine("reference", "gspc") == "reference"
+    assert choose_engine("reference", "drrip") == "reference"
+
+
+def test_choose_engine_rejects_unknown_engine():
+    with pytest.raises(SimulationError, match="unknown engine"):
+        choose_engine("turbo", "drrip")
+
+
+def test_choose_engine_fast_rejects_uncovered_policy():
+    with pytest.raises(SimulationError, match="not covered"):
+        choose_engine("fast", "gspc")
+
+
+def test_choose_engine_fast_rejects_observer():
+    with pytest.raises(SimulationError, match="observer"):
+        choose_engine("fast", "drrip", SamplingObserver())
+
+
+def test_fast_simulate_trace_rejects_uncovered_policy():
+    trace = synth.cyclic_scan(8, 1)
+    with pytest.raises(SimulationError, match="no fast kernel"):
+        fast_simulate_trace(trace, "gspc", TINY)
+
+
+def test_simulate_trace_unknown_engine_raises():
+    trace = synth.cyclic_scan(8, 1)
+    with pytest.raises(SimulationError, match="unknown engine"):
+        simulate_trace(trace, "drrip", TINY, engine="turbo")
+
+
+# -- generated kernels --------------------------------------------------------
+
+
+def test_kernel_source_is_compilable_python():
+    for kind in ("nru", "lru", "srrip", "drrip", "belady"):
+        source = kernel_source(kind)
+        assert source.startswith("def replay(")
+        compile(source, f"<{kind}>", "exec")
+
+
+def test_kernel_for_caches_and_records_source():
+    kernel = kernel_for("nru")
+    assert kernel is kernel_for("nru")
+    assert kernel.__name__ == "replay_nru"
+    assert "referenced.index(False, base, end)" in kernel.__source__
+
+
+def test_kernel_source_rejects_unknown_kind():
+    with pytest.raises(SimulationError, match="no fast kernel"):
+        kernel_source("plru")

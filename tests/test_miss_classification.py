@@ -1,7 +1,5 @@
 """Miss-classification tests."""
 
-import pytest
-
 from repro.analysis.misses import classify_misses
 from repro.config import CacheParams, KB, LLCConfig
 from repro.streams import Stream

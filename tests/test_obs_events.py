@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.obs.events import EVICT, FILL, HIT, EventRing, SamplingObserver
+from repro.obs.events import FILL, HIT, EventRing, SamplingObserver
 from repro.sim.offline import simulate_trace
 from repro.streams import Stream
 from repro.trace import synth

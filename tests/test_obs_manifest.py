@@ -111,6 +111,18 @@ def test_validation_catches_problems():
         check_manifest(bad)
 
 
+def test_engine_field_validated(sim_run):
+    result, observer, spans = sim_run
+    manifest = sim_manifest(result, engine="fast")
+    assert manifest["engine"] == "fast"
+    assert validate_manifest(manifest) == []
+    manifest["engine"] = "auto"  # only resolved engines may be recorded
+    assert any("engine" in p for p in validate_manifest(manifest))
+    without = sim_manifest(result)
+    assert "engine" not in without
+    assert validate_manifest(without) == []
+
+
 def test_load_rejects_garbage(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text("{not json")

@@ -1,7 +1,5 @@
 """Offline simulator tests."""
 
-import pytest
-
 from repro.config import CacheParams, KB, LLCConfig
 from repro.core.registry import policy_spec
 from repro.core.srrip import SRRIPPolicy

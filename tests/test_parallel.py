@@ -106,20 +106,25 @@ def test_every_registered_policy_matches_serial(mixed_trace):
     policies = available_policies()
     parallel = run_policy_sims(mixed_trace, policies, LLC, workers=2)
     assert [name for name, *_ in parallel] != []
-    for requested, (name, result, events, spans) in zip(policies, parallel):
+    for requested, (name, result, events, spans, engine) in zip(
+        policies, parallel
+    ):
         serial = simulate_trace(mixed_trace, requested, LLC)
         assert name == serial.policy
         assert result.stats.snapshot() == serial.stats.snapshot()
         assert result.accesses == serial.accesses
         assert events is None and spans is None
+        assert engine in ("reference", "fast")
 
 
 def test_run_policy_sims_returns_telemetry(mixed_trace):
-    [(name, result, events, spans)] = run_policy_sims(
+    [(name, result, events, spans, engine)] = run_policy_sims(
         mixed_trace, ["drrip"], LLC, workers=2, telemetry=True
     )
     assert events is not None and "sample_period" in events
     assert spans  # flat span table from the worker
+    # Telemetry needs the observer, which only the reference engine has.
+    assert engine == "reference"
 
 
 def test_experiment_identical_after_parallel_prewarm(capsys):

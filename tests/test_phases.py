@@ -1,7 +1,5 @@
 """Phase-analysis tests."""
 
-import pytest
-
 from repro.analysis.phases import detect_phase_changes, phase_profile
 from repro.config import CacheParams, KB, LLCConfig
 from repro.streams import Stream

@@ -51,6 +51,14 @@ def test_parser_defaults():
     assert args.jobs == 1
     assert not args.full
     assert args.scale == pytest.approx(0.125)
+    assert args.engine == "auto"
+
+
+def test_unknown_engine_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fig01", "--engine", "turbo"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
 
 
 def test_negative_jobs_rejected(capsys):

@@ -8,7 +8,6 @@ from repro.workloads.surfaces import (
     BLOCK_BYTES,
     PAGE_BYTES,
     AddressSpace,
-    MipmappedTexture,
     Surface,
     allocate_surface,
     allocate_texture,
@@ -109,7 +108,7 @@ class TestTextures:
     def test_total_blocks(self):
         space = AddressSpace()
         texture = allocate_texture(space, "t", 16, 16)
-        assert texture.total_blocks == sum(l.num_blocks for l in texture.levels)
+        assert texture.total_blocks == sum(level.num_blocks for level in texture.levels)
 
     def test_allocate_surface_sets_base(self):
         space = AddressSpace()
