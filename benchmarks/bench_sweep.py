@@ -1,0 +1,128 @@
+"""Sweep-orchestration overhead benchmark.
+
+Runs the same (trace + sims) job set twice — once through the bare
+:func:`repro.parallel.run_jobs` pool and once through the full
+:class:`repro.sweep.SweepRunner` stack (per-attempt worker processes,
+journalling with per-record fsync, result-file handoff) — and reports
+the orchestration overhead as a fraction of the bare wall time::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --out BENCH_sweep.json
+
+Each side is timed ``--repeats`` times and the minimum is used, so the
+reported ``overhead_fraction`` reflects machinery cost, not scheduler
+noise.  The trace cache is warmed before timing either side, so both
+measure simulation work.  CI gates the result via
+``check_regression.py --sweep-report BENCH_sweep.json`` (limit 5%).
+"""
+
+import time
+
+
+def run_bench(
+    scale: float = 0.25,
+    workers: int = 2,
+    repeats: int = 3,
+    base_dir: str = ".",
+) -> dict:
+    import os
+
+    from repro.parallel import run_jobs
+    from repro.sweep.exec import ProcessLauncher, SweepRunner
+    from repro.sweep.journal import Journal
+    from repro.sweep.spec import SweepSpec, expand
+
+    cache_dir = os.path.join(base_dir, "cache")
+    spec = SweepSpec(
+        name="bench",
+        policies=("drrip", "nru", "gspc"),
+        llc_mb=(8,),
+        apps=("DMC",),
+        scale=scale,
+        engine="auto",
+    )
+    jobs = expand(spec)
+    sim_jobs = [job.sim_job() for job in jobs]
+    config = spec.config_for(8, cache_dir)
+
+    # Warm the trace cache so neither side times trace synthesis.
+    run_jobs([job for job in sim_jobs if job.kind == "trace"], config, 1)
+
+    def time_bare() -> float:
+        started = time.perf_counter()
+        run_jobs(sim_jobs, config, workers)
+        return time.perf_counter() - started
+
+    def time_sweep(round_index: int) -> float:
+        sweep_dir = os.path.join(base_dir, f"sweep-{round_index}")
+        os.makedirs(sweep_dir, exist_ok=True)
+        launcher = ProcessLauncher(
+            spec, cache_dir, os.path.join(sweep_dir, "tmp")
+        )
+        started = time.perf_counter()
+        with Journal(os.path.join(sweep_dir, "journal.jsonl")) as journal:
+            outcome = SweepRunner(
+                jobs, launcher, journal, workers=workers
+            ).run()
+        elapsed = time.perf_counter() - started
+        assert outcome.ok, f"bench sweep failed: {outcome.failures}"
+        return elapsed
+
+    bare_seconds = [time_bare() for _ in range(repeats)]
+    sweep_seconds = [time_sweep(i) for i in range(repeats)]
+    bare_min = min(bare_seconds)
+    sweep_min = min(sweep_seconds)
+    return {
+        "scale": scale,
+        "workers": workers,
+        "repeats": repeats,
+        "jobs": {
+            "total": len(jobs),
+            "sims": sum(1 for job in jobs if job.kind == "sim"),
+        },
+        "bare_seconds": bare_seconds,
+        "sweep_seconds": sweep_seconds,
+        "bare_min": bare_min,
+        "sweep_min": sweep_min,
+        "overhead_fraction": (sweep_min - bare_min) / bare_min,
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        description="Measure SweepRunner overhead over bare run_jobs."
+    )
+    parser.add_argument("--out", default="BENCH_sweep.json", help="report path")
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="linear frame scale"
+    )
+    parser.add_argument("--jobs", type=int, default=2, help="worker count")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing rounds per side"
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as base_dir:
+        report = run_bench(
+            scale=args.scale,
+            workers=args.jobs,
+            repeats=args.repeats,
+            base_dir=base_dir,
+        )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"wrote {args.out}: bare {report['bare_min']:.2f}s vs sweep "
+        f"{report['sweep_min']:.2f}s over {report['jobs']['total']} jobs "
+        f"(orchestration overhead {report['overhead_fraction']:+.1%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

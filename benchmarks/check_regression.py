@@ -14,6 +14,11 @@ the report is a failure (a silently dropped benchmark is a regression
 too); new policies in the report are reported but never gate.  Refresh
 the committed baseline with ``--update`` after an intentional
 performance change.
+
+``--sweep-report BENCH_sweep.json`` additionally (or, with
+``--sweep-only``, exclusively) gates the sweep orchestrator's overhead
+over bare ``run_jobs`` (see ``bench_sweep.py``) against
+``--sweep-overhead-limit`` (default 5%).
 """
 
 import argparse
@@ -21,6 +26,7 @@ import json
 import sys
 
 DEFAULT_THRESHOLD = 0.25
+DEFAULT_SWEEP_OVERHEAD_LIMIT = 0.05
 
 
 def load_throughput(path: str) -> dict:
@@ -68,6 +74,26 @@ def print_table(rows) -> None:
         print(f"{policy:12s} {base_s:>14s} {now_s:>14s} {delta_s:>8s}  {status}")
 
 
+def check_sweep_overhead(path: str, limit: float) -> list:
+    """Failure messages for the sweep-orchestration overhead gate."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    overhead = report.get("overhead_fraction")
+    if not isinstance(overhead, (int, float)) or isinstance(overhead, bool):
+        return [f"{path} has no numeric overhead_fraction"]
+    print(
+        f"sweep orchestration: bare {report.get('bare_min', 0):.2f}s vs "
+        f"sweep {report.get('sweep_min', 0):.2f}s "
+        f"(overhead {overhead:+.1%}, limit {limit:.0%})"
+    )
+    if overhead > limit:
+        return [
+            f"sweep orchestration overhead {overhead:.1%} exceeds "
+            f"the {limit:.0%} limit"
+        ]
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail CI when benchmark throughput regresses."
@@ -89,7 +115,33 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baseline from the report instead of gating",
     )
+    parser.add_argument(
+        "--sweep-report",
+        metavar="PATH",
+        help="also gate a bench_sweep.py report (BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--sweep-overhead-limit",
+        type=float,
+        default=DEFAULT_SWEEP_OVERHEAD_LIMIT,
+        help="max tolerated sweep-orchestration overhead (default 0.05)",
+    )
+    parser.add_argument(
+        "--sweep-only",
+        action="store_true",
+        help="skip the throughput gate; check only --sweep-report",
+    )
     args = parser.parse_args(argv)
+
+    if args.sweep_only:
+        if not args.sweep_report:
+            parser.error("--sweep-only requires --sweep-report")
+        failures = check_sweep_overhead(args.sweep_report, args.sweep_overhead_limit)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if not failures:
+            print("sweep orchestration overhead within limit")
+        return 1 if failures else 0
 
     current = load_throughput(args.report)
     if args.update:
@@ -102,6 +154,10 @@ def main(argv=None) -> int:
     baseline = load_throughput(args.baseline)
     rows, failures = compare(baseline, current, args.threshold)
     print_table(rows)
+    if args.sweep_report:
+        failures.extend(
+            check_sweep_overhead(args.sweep_report, args.sweep_overhead_limit)
+        )
     if failures:
         print()
         for failure in failures:

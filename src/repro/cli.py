@@ -35,6 +35,29 @@ from repro.parallel import resolve_jobs, run_policy_sims
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import Trace
 
+#: Process exit-code convention shared by every gspc-* entry point
+#: (see docs/observability.md): success, runtime failure, usage error,
+#: partial failure (some jobs failed but the run completed gracefully).
+EXIT_OK = 0
+EXIT_RUNTIME = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+
+
+def ensure_directory(directory: str, option: str) -> Optional[str]:
+    """Create an output directory up front; error message on failure.
+
+    Entry points call this before any simulation work so a bad ``--csv``
+    / ``--metrics-out`` / ``--out`` path fails in milliseconds, not
+    minutes in.  Returns ``None`` on success; the caller picks the exit
+    code (conventions differ per entry point and are frozen).
+    """
+    try:
+        os.makedirs(directory, exist_ok=True)
+        return None
+    except OSError as exc:
+        return f"cannot create {option} directory {directory!r}: {exc}"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -143,15 +166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.metrics_out:
         # Fail before simulating, not after, if the directory is unusable.
-        try:
-            os.makedirs(args.metrics_out, exist_ok=True)
-        except OSError as exc:
-            print(
-                f"error: cannot create --metrics-out directory "
-                f"{args.metrics_out!r}: {exc}",
-                file=sys.stderr,
-            )
-            return 1
+        problem = ensure_directory(args.metrics_out, "--metrics-out")
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return EXIT_RUNTIME
 
     system = paper_baseline(llc_mb=args.llc_mb, scale=args.scale)
     print(

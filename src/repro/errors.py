@@ -54,3 +54,9 @@ class ParallelError(ReproError):
     """The parallel execution engine was misconfigured (invalid worker
     count, unplannable job, or a worker returned an inconsistent
     result)."""
+
+
+class SweepError(ReproError):
+    """A sweep specification, journal, fault spec, or retry policy is
+    invalid, or a sweep worker shipped back an unusable result payload
+    (missing file, corrupt JSON, checksum mismatch)."""

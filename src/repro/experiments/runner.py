@@ -207,19 +207,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     # Fail before running experiments — not minutes into a simulation —
     # if an output directory cannot be created.
+    from repro.cli import EXIT_USAGE, ensure_directory
+
     for option, directory in (("--csv", args.csv),
                               ("--metrics-out", args.metrics_out)):
         if not directory:
             continue
-        try:
-            os.makedirs(directory, exist_ok=True)
-        except OSError as exc:
-            print(
-                f"error: cannot create {option} directory "
-                f"{directory!r}: {exc}",
-                file=sys.stderr,
-            )
-            return 2
+        problem = ensure_directory(directory, option)
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return EXIT_USAGE
     config = ExperimentConfig(
         scale=args.scale,
         frames_per_app=None if args.full else args.frames_per_app,

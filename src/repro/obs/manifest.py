@@ -17,6 +17,10 @@ Three manifest kinds share one envelope (``schema_version``, ``kind``,
   (:func:`timing_manifest`).
 * ``experiment`` — one registered paper experiment
   (:func:`experiment_manifest`).
+* ``sweep`` — one fault-tolerant sweep run (:func:`sweep_manifest`):
+  per-job deterministic result payloads in ``metrics`` and per-job
+  attempt bookkeeping in ``jobs`` (kept out of ``metrics`` so
+  crash/resume-equivalence diffs compare results, not retry history).
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ KIND_KEYS = {
     "offline-sim": ("policy", "trace", "metrics", "events"),
     "frame-timing": ("policy", "trace", "metrics"),
     "experiment": ("experiment", "metrics"),
+    "sweep": ("sweep", "metrics", "jobs"),
 }
 
 
@@ -189,6 +194,33 @@ def experiment_manifest(
     return manifest
 
 
+def sweep_manifest(
+    config,
+    sweep: Mapping[str, object],
+    metrics: Mapping[str, object],
+    jobs: List,
+    wall_seconds: float = 0.0,
+) -> Dict[str, object]:
+    """Manifest for one :mod:`repro.sweep` run.
+
+    ``config`` is the sweep spec dict (deterministic identity of the
+    run); ``sweep`` summarizes orchestration (job counts, workers,
+    retry policy, resumed-job count); ``metrics`` maps sim job ids to
+    their deterministic result payloads; ``jobs`` carries per-job
+    attempt bookkeeping (``attempts``, ``executed_attempts``,
+    ``resumed``, terminal status) — deliberately outside ``metrics`` so
+    metric diffs between a resumed and an uninterrupted run compare
+    clean.
+    """
+    manifest = _envelope("sweep", config, _phases(0.0, wall_seconds))
+    manifest.update(
+        sweep=_jsonable(dict(sweep)),
+        metrics=_jsonable(dict(metrics)),
+        jobs=_jsonable(list(jobs)),
+    )
+    return manifest
+
+
 # -- I/O ---------------------------------------------------------------------
 
 def manifest_filename(manifest: Mapping[str, object]) -> str:
@@ -196,6 +228,8 @@ def manifest_filename(manifest: Mapping[str, object]) -> str:
     kind = str(manifest.get("kind", "run"))
     if kind == "experiment":
         label = str(manifest.get("experiment", {}).get("id", "unknown"))
+    elif kind == "sweep":
+        label = str(manifest.get("sweep", {}).get("name", "unknown"))
     else:
         trace = manifest.get("trace") or {}
         label = f"{trace.get('name', 'trace')}_{manifest.get('policy', '')}"
@@ -276,6 +310,8 @@ def validate_manifest(manifest: Mapping[str, object]) -> List[str]:
         for key in ("events", "sample_period", "per_stream", "sampled"):
             if key not in events:
                 problems.append(f"events summary missing {key!r}")
+    if kind == "sweep":
+        problems.extend(_validate_sweep(manifest))
     if "parallel" in manifest:
         problems.extend(_validate_parallel(manifest["parallel"]))
     engine = manifest.get("engine")
@@ -290,6 +326,43 @@ def validate_manifest(manifest: Mapping[str, object]) -> List[str]:
 PARALLEL_KEYS = (
     "workers", "jobs", "wall_seconds", "serial_seconds_estimate", "speedup"
 )
+
+
+#: Numeric keys the ``sweep`` summary section must carry.
+SWEEP_KEYS = ("total_jobs", "completed", "failed", "resumed")
+#: Keys every entry of a sweep manifest's ``jobs`` list must carry.
+SWEEP_JOB_KEYS = ("job", "status", "attempts", "executed_attempts", "resumed")
+
+
+def _validate_sweep(manifest: Mapping[str, object]) -> List[str]:
+    problems: List[str] = []
+    sweep = manifest.get("sweep")
+    if not isinstance(sweep, Mapping):
+        problems.append(
+            f"'sweep' must be an object, got {type(sweep).__name__}"
+        )
+    else:
+        for key in SWEEP_KEYS:
+            value = sweep.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(
+                    f"sweep.{key} must be an integer, got {value!r}"
+                )
+    jobs = manifest.get("jobs")
+    if not isinstance(jobs, list):
+        problems.append(f"'jobs' must be a list, got {type(jobs).__name__}")
+    else:
+        for position, entry in enumerate(jobs):
+            if not isinstance(entry, Mapping):
+                problems.append(f"jobs[{position}] must be an object")
+                continue
+            for key in SWEEP_JOB_KEYS:
+                if key not in entry:
+                    problems.append(f"jobs[{position}] missing {key!r}")
+    metrics = manifest.get("metrics")
+    if metrics is not None and not isinstance(metrics, Mapping):
+        problems.append("sweep 'metrics' must be an object of job payloads")
+    return problems
 
 
 def _validate_parallel(section) -> List[str]:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ParallelError
 from repro.experiments.common import (
@@ -67,6 +67,16 @@ class SimJob:
     def label(self) -> str:
         suffix = f" {self.policy}" if self.policy else ""
         return f"{self.kind} {self.app} f{self.frame_index}{suffix}"
+
+    @property
+    def job_id(self) -> str:
+        """Stable, filesystem/journal-safe identity of this job.
+
+        Used as the key of the sweep engine's result journal, so it must
+        never depend on anything run-specific (ordering, timing, worker).
+        """
+        suffix = f":{self.policy}" if self.policy else ""
+        return f"{self.kind}:{self.app}:f{self.frame_index}{suffix}"
 
     def spec(self) -> FrameSpec:
         return FrameSpec(app_by_name(self.app), self.frame_index)
@@ -117,8 +127,21 @@ def plan_for_experiment(
     return unique
 
 
-def execute_job(job: SimJob, config: ExperimentConfig) -> JobOutcome:
-    """Run one job to completion (worker-process entry point)."""
+def execute_job(
+    job: SimJob, config: ExperimentConfig, inject: Optional[str] = None
+) -> JobOutcome:
+    """Run one job to completion (worker-process entry point).
+
+    ``inject`` threads deterministic fault injection (see
+    :mod:`repro.faults`) through the entry point: ``"crash"`` hard-exits
+    the process, ``"hang"`` sleeps past any deadline.  ``"corrupt"`` is
+    payload-level and ignored here — only the sweep worker, which owns a
+    serialized result payload, can apply it.
+    """
+    if inject in ("crash", "hang"):
+        from repro import faults
+
+        faults.fire(inject)
     spans = SpanRecorder()
     started = time.perf_counter()
     spec = job.spec()

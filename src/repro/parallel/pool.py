@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelError
 from repro.experiments.common import ExperimentConfig
+from repro.faults import FaultSpec
 from repro.parallel.jobs import JobOutcome, SimJob, execute_job
 
 #: progress callback: (completed_count, total, outcome)
@@ -90,6 +91,7 @@ def run_jobs(
     config: ExperimentConfig,
     workers: int,
     progress: Optional[ProgressFn] = None,
+    fault: Optional[FaultSpec] = None,
 ) -> ParallelReport:
     """Execute ``jobs`` over ``workers`` processes.
 
@@ -98,6 +100,12 @@ def run_jobs(
     once.  Outcomes are returned in plan order regardless of completion
     order.  ``workers == 1`` degenerates to in-process serial execution
     through the identical code path.
+
+    ``fault`` injects a deterministic failure into the matching job's
+    worker (testing only).  The pool has **no** recovery machinery: a
+    crashed worker takes the whole run down with ``BrokenProcessPool``
+    (and with ``workers == 1``, the calling process itself) — exactly
+    the failure mode :mod:`repro.sweep` exists to survive.
     """
     if workers < 1:
         raise ParallelError(f"worker count must be >= 1, got {workers}")
@@ -105,6 +113,12 @@ def run_jobs(
     outcomes: List[JobOutcome] = []
     total = len(jobs)
     completed = 0
+    order = {job: ordinal for ordinal, job in enumerate(jobs, start=1)}
+
+    def injection(job: SimJob) -> Optional[str]:
+        if fault is not None and fault.matches(order[job], job.job_id, 1):
+            return fault.kind
+        return None
 
     def record(outcome: JobOutcome) -> None:
         nonlocal completed
@@ -115,18 +129,19 @@ def run_jobs(
 
     if workers == 1:
         for job in jobs:
-            record(execute_job(job, config))
+            record(execute_job(job, config, injection(job)))
     else:
         with ProcessPoolExecutor(max_workers=workers) as executor:
             for wave in _waves(jobs):
                 pending = {
-                    executor.submit(execute_job, job, config) for job in wave
+                    executor.submit(execute_job, job, config, injection(job))
+                    for job in wave
                 }
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
                         record(future.result())
-    outcomes.sort(key=lambda outcome: jobs.index(outcome.job))
+    outcomes.sort(key=lambda outcome: order[outcome.job])
     return ParallelReport(
         workers=workers,
         wall_seconds=time.perf_counter() - started,

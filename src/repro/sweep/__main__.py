@@ -1,0 +1,8 @@
+"""``python -m repro.sweep`` — alias for the ``gspc-sweep`` CLI."""
+
+import sys
+
+from repro.sweep.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

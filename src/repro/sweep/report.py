@@ -1,0 +1,234 @@
+"""Final sweep artifacts: results CSV, failure report, run manifest.
+
+Everything here is built **from journal payloads only** — never from
+in-memory state a crashed run would have lost — so a resumed sweep
+produces byte-identical final artifacts to an uninterrupted one by
+construction: same plan order, same payloads, same formatting.
+
+Per-job attempt counts (which *do* differ between an interrupted and an
+uninterrupted run — that is how CI proves completed jobs were not
+re-executed) live in the manifest's ``jobs`` section, which
+``benchmarks/diff_manifest_metrics.py`` deliberately does not compare.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.manifest import sweep_manifest
+from repro.sweep.exec import RetryPolicy, SweepOutcome
+from repro.sweep.journal import canonical_json, write_atomic
+from repro.sweep.spec import SweepJob, SweepSpec
+
+#: Final artifact filenames inside a sweep directory.
+RESULTS_FILENAME = "results.csv"
+FAILURES_FILENAME = "failures.json"
+MANIFEST_FILENAME = "manifest.json"
+
+#: CSV columns, in order.  ``metrics.*`` keys index into each sim
+#: payload's :meth:`~repro.cache.stats.LLCStats.snapshot` dict.
+CSV_COLUMNS = (
+    "app",
+    "frame",
+    "policy",
+    "llc_mb",
+    "engine",
+    "accesses",
+    "metrics.hits",
+    "metrics.misses",
+    "metrics.bypasses",
+    "metrics.hit_rate",
+    "metrics.dram_reads",
+    "metrics.dram_writes",
+)
+
+
+def _cell(value: object) -> str:
+    """Deterministic CSV cell: shortest-repr floats, plain ints/strs."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return repr(value)
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _column_value(payload: Dict[str, object], column: str) -> object:
+    if column.startswith("metrics."):
+        metrics = payload.get("metrics")
+        if isinstance(metrics, dict):
+            return metrics.get(column[len("metrics."):])
+        return None
+    return payload.get(column)
+
+
+def results_csv(
+    jobs: Sequence[SweepJob], completed: Dict[str, Dict[str, object]]
+) -> str:
+    """The final CSV: one row per *completed* sim job, in plan order.
+
+    Jobs that failed permanently are simply absent — the failure report
+    and the manifest's ``jobs`` section carry that story.
+    """
+    lines = [",".join(CSV_COLUMNS)]
+    for job in jobs:
+        if job.kind != "sim":
+            continue
+        payload = completed.get(job.job_id)
+        if payload is None:
+            continue
+        lines.append(
+            ",".join(_cell(_column_value(payload, col)) for col in CSV_COLUMNS)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def failure_report(
+    outcome: SweepOutcome, jobs: Sequence[SweepJob]
+) -> Dict[str, object]:
+    """What went permanently wrong, for humans and for CI artifacts."""
+    return {
+        "failed_jobs": len(outcome.failures),
+        "total_jobs": len(jobs),
+        "failures": {
+            job.job_id: {
+                "attempts": outcome.attempts.get(job.job_id, 0),
+                "last_kind": outcome.failures[job.job_id].get("kind"),
+                "last_error": outcome.failures[job.job_id].get("error"),
+            }
+            for job in jobs
+            if job.job_id in outcome.failures
+        },
+    }
+
+
+def jobs_section(
+    outcome: SweepOutcome, jobs: Sequence[SweepJob]
+) -> List[Dict[str, object]]:
+    """Per-job bookkeeping for the manifest (not metric-compared).
+
+    ``executed_attempts`` is what this invocation ran; ``resumed`` marks
+    jobs whose result came straight from the journal.  CI's
+    crash/resume-equivalence gate asserts ``resumed`` jobs have
+    ``executed_attempts == 0`` — completed work is never re-executed.
+    """
+    resumed = set(outcome.resumed)
+    section = []
+    for job in jobs:
+        job_id = job.job_id
+        if job_id in outcome.failures:
+            status = "failed"
+        elif job_id in outcome.completed:
+            status = "ok"
+        else:
+            status = "missing"
+        entry: Dict[str, object] = {
+            "job": job_id,
+            "status": status,
+            "attempts": outcome.attempts.get(job_id, 0),
+            "executed_attempts": outcome.executed.get(job_id, 0),
+            "resumed": job_id in resumed,
+        }
+        if job_id in outcome.failures:
+            entry["last_kind"] = outcome.failures[job_id].get("kind")
+            entry["last_error"] = outcome.failures[job_id].get("error")
+        section.append(entry)
+    return section
+
+
+def metrics_section(
+    jobs: Sequence[SweepJob], completed: Dict[str, Dict[str, object]]
+) -> Dict[str, object]:
+    """Deterministic result payloads, keyed by job id, sims only.
+
+    This is the section ``diff_manifest_metrics.py`` compares between a
+    crashed-and-resumed sweep and an uninterrupted one, so it must be a
+    pure function of the journal payloads.
+    """
+    return {
+        job.job_id: completed[job.job_id]
+        for job in jobs
+        if job.kind == "sim" and job.job_id in completed
+    }
+
+
+def write_reports(
+    sweep_dir: str,
+    spec: SweepSpec,
+    jobs: Sequence[SweepJob],
+    outcome: SweepOutcome,
+    *,
+    workers: int,
+    timeout: Optional[float],
+    retry: RetryPolicy,
+    rejected_journal_lines: int = 0,
+) -> Dict[str, str]:
+    """Write results.csv, the manifest, and (on failure) failures.json.
+
+    Returns a mapping of artifact name -> path for everything written.
+    All whole-file artifacts go through atomic tmp+fsync+rename.
+    """
+    paths: Dict[str, str] = {}
+
+    csv_path = os.path.join(sweep_dir, RESULTS_FILENAME)
+    write_atomic(csv_path, results_csv(jobs, outcome.completed))
+    paths["results"] = csv_path
+
+    manifest = sweep_manifest(
+        spec.to_dict(),
+        sweep={
+            "name": spec.name,
+            "total_jobs": len(jobs),
+            "completed": len(outcome.completed),
+            "failed": len(outcome.failures),
+            "resumed": len(outcome.resumed),
+            "workers": workers,
+            "timeout": timeout,
+            "retry": {
+                "max_attempts": retry.max_attempts,
+                "backoff_base": retry.backoff_base,
+                "backoff_mult": retry.backoff_mult,
+                "backoff_max": retry.backoff_max,
+            },
+            "rejected_journal_lines": rejected_journal_lines,
+        },
+        metrics=metrics_section(jobs, outcome.completed),
+        jobs=jobs_section(outcome, jobs),
+        wall_seconds=outcome.wall_seconds,
+    )
+    # write_manifest is not atomic; route its serialization through the
+    # same tmp+rename path every other sweep artifact uses.
+    manifest_path = os.path.join(sweep_dir, MANIFEST_FILENAME)
+    write_atomic(
+        manifest_path, json.dumps(manifest, indent=2, sort_keys=False) + "\n"
+    )
+    paths["manifest"] = manifest_path
+
+    failures_path = os.path.join(sweep_dir, FAILURES_FILENAME)
+    if outcome.failures:
+        write_atomic(
+            failures_path,
+            canonical_json(failure_report(outcome, jobs)) + "\n",
+        )
+        paths["failures"] = failures_path
+    elif os.path.exists(failures_path):
+        # A fully successful resume supersedes the failure report the
+        # interrupted invocation left behind.
+        os.unlink(failures_path)
+    return paths
+
+
+__all__ = [
+    "CSV_COLUMNS",
+    "FAILURES_FILENAME",
+    "MANIFEST_FILENAME",
+    "RESULTS_FILENAME",
+    "failure_report",
+    "jobs_section",
+    "metrics_section",
+    "results_csv",
+    "write_reports",
+]

@@ -1,0 +1,151 @@
+"""Sweep worker: the child-process entry point for one job attempt.
+
+The orchestrator hands each attempt a plain-dict payload (spawn-safe
+under any multiprocessing start method) plus an output path.  The
+worker executes the job through :func:`repro.parallel.jobs.execute_job`
+— the same entry point ``--jobs`` workers use — and ships its result
+back as a checksummed JSON file written atomically, so the parent can
+distinguish "crashed before finishing" (no file) from "finished but the
+payload is garbage" (checksum/parse failure → the attempt is rejected
+and retried).
+
+Fault injection threads through here: ``crash``/``hang`` fire before
+any work (see :mod:`repro.faults`); ``corrupt`` lets the job finish and
+then mangles the serialized result, exercising the parent's rejection
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional
+
+from repro import faults
+from repro.errors import SweepError
+from repro.parallel.jobs import SimJob, execute_job
+from repro.sweep.journal import canonical_json, checksum, write_atomic
+from repro.sweep.spec import SweepJob, SweepSpec
+
+#: Result-envelope schema version.
+RESULT_VERSION = 1
+
+_UNSAFE_RE = re.compile(r"[^A-Za-z0-9._+-]+")
+
+
+def result_filename(job_id: str, attempt: int) -> str:
+    """Filesystem-safe handoff filename for one attempt."""
+    return f"{_UNSAFE_RE.sub('-', job_id)}.a{attempt}.json"
+
+
+def job_payload(
+    job: SweepJob,
+    spec: SweepSpec,
+    cache_dir: Optional[str],
+    inject: Optional[str] = None,
+    hang_seconds: float = 300.0,
+) -> Dict[str, object]:
+    """The picklable description of one attempt."""
+    return {
+        "job": job.job_id,
+        "kind": job.kind,
+        "app": job.app,
+        "frame_index": job.frame_index,
+        "policy": job.policy,
+        "llc_mb": job.llc_mb or 8,
+        "scale": spec.scale,
+        "engine": spec.engine,
+        "cache_dir": cache_dir,
+        "inject": inject,
+        "hang_seconds": hang_seconds,
+    }
+
+
+def run_job_in_worker(payload: Dict[str, object], out_path: str) -> None:
+    """Child-process entry point: run one attempt, ship the result."""
+    inject = payload.get("inject")
+    if inject in ("crash", "hang"):
+        faults.fire(str(inject), float(payload["hang_seconds"]))  # type: ignore[arg-type]
+    from repro.experiments.common import ExperimentConfig
+
+    sim_job = SimJob(
+        str(payload["kind"]),
+        str(payload["app"]),
+        int(payload["frame_index"]),  # type: ignore[arg-type]
+        str(payload["policy"]),
+    )
+    config = ExperimentConfig(
+        scale=float(payload["scale"]),  # type: ignore[arg-type]
+        frames_per_app=None,
+        llc_mb=int(payload["llc_mb"]),  # type: ignore[arg-type]
+        cache_dir=payload["cache_dir"],  # type: ignore[arg-type]
+        engine=str(payload["engine"]),
+    )
+    outcome = execute_job(sim_job, config)
+    result: Dict[str, object] = {
+        "job": payload["job"],
+        "kind": payload["kind"],
+        "app": payload["app"],
+        "frame": payload["frame_index"],
+    }
+    if sim_job.kind == "sim":
+        from repro.fastsim.dispatch import choose_engine
+
+        sim_result = outcome.value
+        result.update(
+            policy=payload["policy"],
+            llc_mb=payload["llc_mb"],
+            engine=choose_engine(str(payload["engine"]), sim_job.policy, None),
+            accesses=sim_result.accesses,
+            metrics=sim_result.stats.snapshot(),
+        )
+    envelope = {
+        "v": RESULT_VERSION,
+        "payload": result,
+        "seconds": outcome.seconds,
+    }
+    text = canonical_json({**envelope, "sha256": checksum(envelope)})
+    if inject == "corrupt":
+        # Finish the work, then ship garbage: truncating mid-record is
+        # both a JSON parse failure and a checksum mismatch.
+        text = text[: max(1, len(text) // 2)]
+    write_atomic(out_path, text)
+
+
+def load_result(out_path: str, expected_job: str) -> Dict[str, object]:
+    """Parse and verify a worker's result envelope.
+
+    Raises :class:`SweepError` on a missing file, unparsable JSON, a
+    checksum mismatch, or a payload for the wrong job — all of which
+    the orchestrator treats as a rejected (``corrupt``) attempt.
+    """
+    try:
+        with open(out_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise SweepError("worker produced no result file") from None
+    except (OSError, ValueError) as exc:
+        raise SweepError(f"unreadable result payload: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SweepError("result payload is not an object")
+    body = {key: value for key, value in data.items() if key != "sha256"}
+    if data.get("sha256") != checksum(body):
+        raise SweepError("result payload failed its checksum")
+    if body.get("v") != RESULT_VERSION:
+        raise SweepError(f"unsupported result version {body.get('v')!r}")
+    payload = body.get("payload")
+    if not isinstance(payload, dict) or payload.get("job") != expected_job:
+        raise SweepError(
+            f"result payload names job {payload.get('job') if isinstance(payload, dict) else None!r}, "
+            f"expected {expected_job!r}"
+        )
+    return body
+
+
+__all__ = [
+    "RESULT_VERSION",
+    "job_payload",
+    "load_result",
+    "result_filename",
+    "run_job_in_worker",
+]

@@ -1,0 +1,175 @@
+"""End-to-end gspc-sweep runs: tiny real sweeps, the exit-code
+contract, crash/resume byte-equivalence, and every fault kind."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.manifest import load_manifest, validate_manifest
+from repro.sweep.cli import main
+
+#: Small enough that a full sweep is a second or two.
+BASE = [
+    "--policies", "lru", "drrip",
+    "--apps", "DMC",
+    "--scale", "0.03125",
+    "--backoff-base", "0.01",
+]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("trace-cache"))
+
+
+def run_cli(*argv):
+    return main([str(arg) for arg in argv])
+
+
+def read(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_full_sweep_writes_artifacts(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    assert run_cli("--out", out, "--cache-dir", cache_dir, *BASE) == 0
+    manifest = load_manifest(os.path.join(out, "manifest.json"))
+    assert validate_manifest(manifest) == []
+    assert manifest["sweep"]["failed"] == 0
+    assert manifest["sweep"]["total_jobs"] == 3  # 1 trace + 2 sims
+    csv = read(os.path.join(out, "results.csv"))
+    assert len(csv.strip().split("\n")) == 3  # header + 2 sims
+    assert not os.path.exists(os.path.join(out, "failures.json"))
+    # The journal replays clean: one attempt per job.
+    assert all(
+        entry["attempts"] == 1 and not entry["resumed"]
+        for entry in manifest["jobs"]
+    )
+
+
+def test_usage_errors_exit_2(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    # A fresh sweep with no grid at all.
+    assert run_cli("--out", out) == 2
+    # Unknown policy, bad fault spec, bad timeout.
+    assert run_cli("--out", out, "--policies", "nosuch") == 2
+    assert run_cli(
+        "--out", out, *BASE, "--inject-fault", "job=1,kind=meteor"
+    ) == 2
+    assert run_cli("--out", out, *BASE, "--timeout", "0") == 2
+    # Resuming a directory that was never a sweep.
+    assert run_cli("--resume", str(tmp_path / "nothere")) == 2
+
+
+def test_fresh_out_refuses_existing_journal(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    assert run_cli("--out", out, "--cache-dir", cache_dir, *BASE) == 0
+    assert run_cli("--out", out, "--cache-dir", cache_dir, *BASE) == 2
+
+
+def test_crash_resume_equivalence(tmp_path, cache_dir, capsys):
+    """The ISSUE's core contract: a sweep that crashes permanently on
+    one job (exit 3), then resumes cleanly (exit 0), produces final
+    artifacts byte-identical to an uninterrupted run — and the resumed
+    invocation re-executes only the failed job."""
+    clean = str(tmp_path / "clean")
+    faulty = str(tmp_path / "faulty")
+    assert run_cli("--out", clean, "--cache-dir", cache_dir, *BASE) == 0
+
+    assert run_cli(
+        "--out", faulty, "--cache-dir", cache_dir, *BASE,
+        "--inject-fault", "job=2,kind=crash,attempt=*",
+        "--max-attempts", "2",
+    ) == 3
+    report = json.loads(read(os.path.join(faulty, "failures.json")))
+    assert report["failed_jobs"] == 1
+    [(job_id, failure)] = report["failures"].items()
+    assert failure["last_kind"] == "crash"
+    assert failure["attempts"] == 2
+    # Partial results: the CSV is missing exactly the failed sim.
+    assert len(read(os.path.join(faulty, "results.csv")).strip().split("\n")) == 2
+
+    assert run_cli("--resume", faulty, "--cache-dir", cache_dir) == 0
+    assert read(os.path.join(faulty, "results.csv")) == read(
+        os.path.join(clean, "results.csv")
+    )
+    clean_manifest = load_manifest(os.path.join(clean, "manifest.json"))
+    resumed_manifest = load_manifest(os.path.join(faulty, "manifest.json"))
+    assert resumed_manifest["metrics"] == clean_manifest["metrics"]
+    assert resumed_manifest["config"] == clean_manifest["config"]
+    # Completed jobs were not re-executed; only the crashed one ran.
+    jobs = {entry["job"]: entry for entry in resumed_manifest["jobs"]}
+    assert jobs[job_id]["executed_attempts"] == 1
+    assert jobs[job_id]["attempts"] == 3
+    for other_id, entry in jobs.items():
+        if other_id != job_id:
+            assert entry["resumed"] is True
+            assert entry["executed_attempts"] == 0
+    assert not os.path.exists(os.path.join(faulty, "failures.json"))
+
+
+def test_resume_rejects_conflicting_spec(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    assert run_cli("--out", out, "--cache-dir", cache_dir, *BASE) == 0
+    assert run_cli(
+        "--resume", out, "--cache-dir", cache_dir,
+        "--policies", "lru",  # narrower grid than the journal's
+        "--apps", "DMC", "--scale", "0.03125",
+    ) == 2
+
+
+def test_corrupt_payload_is_rejected_and_retried(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    assert run_cli(
+        "--out", out, "--cache-dir", cache_dir, *BASE,
+        "--inject-fault", "job=2,kind=corrupt",
+    ) == 0
+    manifest = load_manifest(os.path.join(out, "manifest.json"))
+    jobs = {entry["job"]: entry for entry in manifest["jobs"]}
+    # Plan ordinal 2 is the first sim job: attempt 1 shipped a mangled
+    # payload, the checksum rejected it, attempt 2 succeeded.
+    victims = [e for e in jobs.values() if e["attempts"] == 2]
+    assert len(victims) == 1 and victims[0]["status"] == "ok"
+    # And its metrics match an untouched sibling run's shape.
+    assert victims[0]["job"] in manifest["metrics"]
+
+
+def test_hang_hits_timeout_and_retry_succeeds(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    assert run_cli(
+        "--out", out, "--cache-dir", cache_dir, *BASE,
+        "--inject-fault", "job=1,kind=hang",
+        "--timeout", "1.5",
+    ) == 0
+    manifest = load_manifest(os.path.join(out, "manifest.json"))
+    victims = [e for e in manifest["jobs"] if e["attempts"] == 2]
+    assert len(victims) == 1 and victims[0]["status"] == "ok"
+
+
+def test_fault_spec_honoured_from_environment(tmp_path, cache_dir, monkeypatch):
+    out = str(tmp_path / "sweep")
+    monkeypatch.setenv(
+        "REPRO_FAULT_SPEC", "job=1,kind=crash,attempt=*"
+    )
+    assert run_cli(
+        "--out", out, "--cache-dir", cache_dir, *BASE, "--max-attempts", "2"
+    ) == 3
+
+
+def test_parallel_sweep_matches_serial_artifacts(tmp_path, cache_dir):
+    serial = str(tmp_path / "serial")
+    fanned = str(tmp_path / "fanned")
+    assert run_cli("--out", serial, "--cache-dir", cache_dir, *BASE) == 0
+    assert run_cli(
+        "--out", fanned, "--cache-dir", cache_dir, *BASE, "--jobs", "2"
+    ) == 0
+    assert read(os.path.join(serial, "results.csv")) == read(
+        os.path.join(fanned, "results.csv")
+    )
+    left = load_manifest(os.path.join(serial, "manifest.json"))
+    right = load_manifest(os.path.join(fanned, "manifest.json"))
+    assert left["metrics"] == right["metrics"]
