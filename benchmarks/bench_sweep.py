@@ -1,18 +1,21 @@
 """Sweep-orchestration overhead benchmark.
 
-Runs the same (trace + sims) job set twice — once through the bare
-:func:`repro.parallel.run_jobs` pool and once through the full
+Runs the same (trace + sims) job set three times — through the bare
+:func:`repro.parallel.run_jobs` pool, through the full
 :class:`repro.sweep.SweepRunner` stack (per-attempt worker processes,
-journalling with per-record fsync, result-file handoff) — and reports
-the orchestration overhead as a fraction of the bare wall time::
+journalling with per-record fsync, result-file handoff), and through
+the same sweep stack with run tracing enabled (trace context shipped
+to every worker, span events collected) — and reports orchestration
+and tracing overheads as fractions of the respective baselines::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py --out BENCH_sweep.json
 
 Each side is timed ``--repeats`` times and the minimum is used, so the
-reported ``overhead_fraction`` reflects machinery cost, not scheduler
-noise.  The trace cache is warmed before timing either side, so both
-measure simulation work.  CI gates the result via
-``check_regression.py --sweep-report BENCH_sweep.json`` (limit 5%).
+reported ``overhead_fraction`` / ``traced_overhead_fraction`` reflect
+machinery cost, not scheduler noise.  The trace cache is warmed before
+timing any side, so all measure simulation work.  CI gates both
+fractions via ``check_regression.py --sweep-report BENCH_sweep.json``
+(limit 5% each).
 """
 
 import time
@@ -52,25 +55,34 @@ def run_bench(
         run_jobs(sim_jobs, config, workers)
         return time.perf_counter() - started
 
-    def time_sweep(round_index: int) -> float:
-        sweep_dir = os.path.join(base_dir, f"sweep-{round_index}")
+    def time_sweep(round_index: int, traced: bool = False) -> float:
+        from repro.obs.tracing import TraceCollector, TraceContext
+
+        label = "traced" if traced else "sweep"
+        sweep_dir = os.path.join(base_dir, f"{label}-{round_index}")
         os.makedirs(sweep_dir, exist_ok=True)
+        ctx = TraceContext.new_run("bench") if traced else None
+        collector = TraceCollector(ctx) if traced else None
         launcher = ProcessLauncher(
-            spec, cache_dir, os.path.join(sweep_dir, "tmp")
+            spec, cache_dir, os.path.join(sweep_dir, "tmp"), trace_ctx=ctx
         )
         started = time.perf_counter()
         with Journal(os.path.join(sweep_dir, "journal.jsonl")) as journal:
             outcome = SweepRunner(
-                jobs, launcher, journal, workers=workers
+                jobs, launcher, journal, workers=workers, collector=collector
             ).run()
         elapsed = time.perf_counter() - started
         assert outcome.ok, f"bench sweep failed: {outcome.failures}"
+        if traced:
+            assert len(collector) > 0, "traced bench produced no events"
         return elapsed
 
     bare_seconds = [time_bare() for _ in range(repeats)]
     sweep_seconds = [time_sweep(i) for i in range(repeats)]
+    traced_seconds = [time_sweep(i, traced=True) for i in range(repeats)]
     bare_min = min(bare_seconds)
     sweep_min = min(sweep_seconds)
+    traced_min = min(traced_seconds)
     return {
         "scale": scale,
         "workers": workers,
@@ -81,9 +93,14 @@ def run_bench(
         },
         "bare_seconds": bare_seconds,
         "sweep_seconds": sweep_seconds,
+        "traced_seconds": traced_seconds,
         "bare_min": bare_min,
         "sweep_min": sweep_min,
+        "traced_min": traced_min,
         "overhead_fraction": (sweep_min - bare_min) / bare_min,
+        # Tracing cost relative to the untraced sweep stack — gated by
+        # check_regression.py at the same 5% limit as orchestration.
+        "traced_overhead_fraction": (traced_min - sweep_min) / sweep_min,
     }
 
 
@@ -116,8 +133,10 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(
         f"wrote {args.out}: bare {report['bare_min']:.2f}s vs sweep "
-        f"{report['sweep_min']:.2f}s over {report['jobs']['total']} jobs "
-        f"(orchestration overhead {report['overhead_fraction']:+.1%})"
+        f"{report['sweep_min']:.2f}s vs traced {report['traced_min']:.2f}s "
+        f"over {report['jobs']['total']} jobs "
+        f"(orchestration overhead {report['overhead_fraction']:+.1%}, "
+        f"tracing overhead {report['traced_overhead_fraction']:+.1%})"
     )
     return 0
 

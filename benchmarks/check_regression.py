@@ -18,7 +18,9 @@ performance change.
 ``--sweep-report BENCH_sweep.json`` additionally (or, with
 ``--sweep-only``, exclusively) gates the sweep orchestrator's overhead
 over bare ``run_jobs`` (see ``bench_sweep.py``) against
-``--sweep-overhead-limit`` (default 5%).
+``--sweep-overhead-limit`` (default 5%).  When the report carries a
+``traced_overhead_fraction`` (tracing-enabled sweep vs plain sweep),
+that fraction is held to the same limit.
 """
 
 import argparse
@@ -86,12 +88,30 @@ def check_sweep_overhead(path: str, limit: float) -> list:
         f"sweep {report.get('sweep_min', 0):.2f}s "
         f"(overhead {overhead:+.1%}, limit {limit:.0%})"
     )
+    failures = []
     if overhead > limit:
-        return [
+        failures.append(
             f"sweep orchestration overhead {overhead:.1%} exceeds "
             f"the {limit:.0%} limit"
-        ]
-    return []
+        )
+    # Tracing gate: only present in reports from bench_sweep.py versions
+    # that time the traced side; older reports pass vacuously.
+    traced = report.get("traced_overhead_fraction")
+    if traced is not None:
+        if not isinstance(traced, (int, float)) or isinstance(traced, bool):
+            failures.append(f"{path} has a non-numeric traced_overhead_fraction")
+        else:
+            print(
+                f"sweep tracing: sweep {report.get('sweep_min', 0):.2f}s vs "
+                f"traced {report.get('traced_min', 0):.2f}s "
+                f"(overhead {traced:+.1%}, limit {limit:.0%})"
+            )
+            if traced > limit:
+                failures.append(
+                    f"sweep tracing overhead {traced:.1%} exceeds "
+                    f"the {limit:.0%} limit"
+                )
+    return failures
 
 
 def main(argv=None) -> int:

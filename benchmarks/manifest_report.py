@@ -1,8 +1,11 @@
 """Summarize run manifests into a perf-trajectory table.
 
 Turns the JSON manifests emitted by ``gspc-sim --metrics-out`` /
-``gspc-experiments --metrics-out`` into one aligned table (or CSV), so
-comparing runs over time is a matter of diffing data, not stdout::
+``gspc-experiments --metrics-out`` (and the ``manifest.json`` a
+``gspc-sweep`` run leaves in its sweep directory — one row per
+completed sim job plus a whole-sweep summary row) into one aligned
+table (or CSV), so comparing runs over time is a matter of diffing
+data, not stdout::
 
     python benchmarks/manifest_report.py out/
     python benchmarks/manifest_report.py out/*.json --csv > trajectory.csv
@@ -23,22 +26,75 @@ from repro.errors import ObservabilityError  # noqa: E402
 from repro.obs.manifest import load_manifest, validate_manifest  # noqa: E402
 
 
-def _collect(paths: List[str]) -> List[str]:
-    files: List[str] = []
+def _collect(paths: List[str]) -> List[tuple]:
+    """(path, explicit) pairs; directory members are not explicit."""
+    files: List[tuple] = []
     for path in paths:
         if os.path.isdir(path):
             files.extend(
-                os.path.join(path, name)
+                (os.path.join(path, name), False)
                 for name in sorted(os.listdir(path))
                 if name.endswith(".json")
             )
         else:
-            files.append(path)
+            files.append((path, True))
     return files
 
 
-def _row(path: str, manifest: Dict[str, object]) -> Dict[str, object]:
+def _sweep_rows(path: str, manifest: Dict[str, object]) -> List[Dict[str, object]]:
+    """One row per completed sim job, then a whole-sweep summary row."""
+    sweep = manifest.get("sweep", {}) or {}
+    metrics = manifest.get("metrics", {}) or {}
+    rows: List[Dict[str, object]] = []
+    total_accesses = 0
+    total_misses = 0
+    for job_id in sorted(metrics):
+        payload = metrics[job_id] or {}
+        job_metrics = payload.get("metrics", {}) or {}
+        accesses = payload.get("accesses")
+        misses = job_metrics.get("misses")
+        if isinstance(accesses, (int, float)):
+            total_accesses += int(accesses)
+        if isinstance(misses, (int, float)):
+            total_misses += int(misses)
+        rows.append({
+            "file": os.path.basename(path),
+            "kind": "sweep",
+            "run": job_id,
+            "accesses": accesses,
+            "misses": misses,
+            "hit_rate": job_metrics.get("hit_rate"),
+            "setup_s": None,
+            "replay_s": None,
+            "acc_per_s": None,
+        })
+    wall = manifest.get("wall_seconds")
+    rows.append({
+        "file": os.path.basename(path),
+        "kind": "sweep",
+        "run": (
+            f"{sweep.get('name', '?')} "
+            f"[{sweep.get('completed', 0)}/{sweep.get('total_jobs', 0)} ok, "
+            f"{sweep.get('failed', 0)} failed]"
+        ),
+        "accesses": total_accesses or None,
+        "misses": total_misses or None,
+        "hit_rate": None,
+        "setup_s": None,
+        "replay_s": wall,
+        "acc_per_s": (
+            total_accesses / wall
+            if total_accesses and isinstance(wall, (int, float)) and wall > 0
+            else None
+        ),
+    })
+    return rows
+
+
+def _rows(path: str, manifest: Dict[str, object]) -> List[Dict[str, object]]:
     kind = manifest.get("kind", "?")
+    if kind == "sweep":
+        return _sweep_rows(path, manifest)
     phases = manifest.get("phases", {}) or {}
     replay = float(phases.get("replay_seconds", 0.0) or 0.0)
     if kind == "experiment":
@@ -54,7 +110,7 @@ def _row(path: str, manifest: Dict[str, object]) -> Dict[str, object]:
     throughput = (
         accesses / replay if accesses and replay > 0 else None
     )
-    return {
+    return [{
         "file": os.path.basename(path),
         "kind": kind,
         "run": label,
@@ -64,7 +120,7 @@ def _row(path: str, manifest: Dict[str, object]) -> Dict[str, object]:
         "setup_s": phases.get("setup_seconds"),
         "replay_s": phases.get("replay_seconds"),
         "acc_per_s": throughput,
-    }
+    }]
 
 
 _COLUMNS = (
@@ -93,19 +149,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     rows: List[Dict[str, object]] = []
     failures = 0
-    for path in _collect(args.paths):
+    for path, explicit in _collect(args.paths):
         try:
             manifest = load_manifest(path)
         except ObservabilityError as exc:
             failures += 1
             print(f"invalid manifest {path}: {exc}", file=sys.stderr)
             continue
+        if not explicit and not (
+            isinstance(manifest, dict) and "kind" in manifest
+        ):
+            # Directory scans sweep up unrelated JSON (a sweep's
+            # spec.json or trace.json); only gate files named directly.
+            continue
         problems = validate_manifest(manifest)
         if problems:
             failures += 1
             print(f"invalid manifest {path}: {problems[0]}", file=sys.stderr)
             continue
-        rows.append(_row(path, manifest))
+        rows.extend(_rows(path, manifest))
 
     if args.csv:
         print(",".join(_COLUMNS))

@@ -110,6 +110,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSON run manifest per policy into DIR",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write one merged Chrome/Perfetto trace JSON for the run "
+        "(each policy simulation as its own track)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every N-th span event (default 1 = all)",
+    )
+    parser.add_argument(
+        "--metrics-text",
+        metavar="FILE",
+        help="also dump run metrics in Prometheus text format to FILE",
+    )
+    parser.add_argument(
         "--log-level",
         metavar="LEVEL",
         help="logging level (default: $REPRO_LOG_LEVEL or WARNING)",
@@ -145,9 +163,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     logger = obs_log.get_logger("cli")
     try:
         workers = resolve_jobs(args.jobs)
+        if args.trace_sample < 1:
+            raise ReproError(
+                f"--trace-sample must be >= 1, got {args.trace_sample}"
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    from repro.obs import tracing
+
+    ctx = tracing.activate(tracing.TraceContext.new_run("gspc-sim"))
     if args.list_policies:
         for name in available_policies():
             print(f"{name}  (also {name}+ucd)")
@@ -198,12 +223,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers,
             telemetry=bool(args.metrics_out),
             engine=args.engine,
+            trace_ctx=ctx if args.trace_out else None,
+            trace_sample=args.trace_sample,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     wall_seconds = time.perf_counter() - wall_started
-    for name, result, events_summary, spans_flat, engine_used in outcomes:
+    for name, result, events_summary, spans_flat, engine_used, _ in outcomes:
         logger.info(
             "%s: %d misses, %.0f accesses/s replay",
             result.policy,
@@ -231,7 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parallel_section = None
     if workers > 1:
         serial_estimate = sum(
-            result.elapsed_seconds for _, result, _, _, _ in outcomes
+            result.elapsed_seconds for _, result, _, _, _, _ in outcomes
         )
         parallel_section = {
             "workers": workers,
@@ -244,7 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "per_job": [
                 {"job": f"sim {result.workload_name} {name}",
                  "seconds": result.elapsed_seconds}
-                for name, result, _, _, _ in outcomes
+                for name, result, _, _, _, _ in outcomes
             ],
         }
     print()
@@ -297,6 +324,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             path = write_manifest(manifest, args.metrics_out)
             print(f"wrote {path}")
+    if args.trace_out:
+        from repro.obs.traceexport import build_chrome_trace, write_trace_file
+
+        events = [
+            event for _, _, _, _, _, trace_events in outcomes
+            for event in trace_events
+        ]
+        chrome = build_chrome_trace(
+            events,
+            ctx.run_id,
+            process_names={os.getpid(): "gspc-sim"},
+            extra_metadata={"trace_name": trace.meta.get("name", "?")},
+        )
+        write_trace_file(chrome, args.trace_out)
+        print(f"wrote trace: {args.trace_out} ({len(events)} events)")
+    if args.metrics_text:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.traceexport import write_metrics_text
+
+        registry = MetricsRegistry()
+        registry.counter("sim.policies").inc(len(outcomes))
+        registry.counter("sim.trace.accesses").inc(len(trace))
+        registry.gauge("sim.wall_seconds").set(wall_seconds)
+        replay_rate = registry.histogram("sim.replay_seconds")
+        for _, result, _, _, _, _ in outcomes:
+            registry.counter(f"sim.misses.{result.policy}").inc(result.misses)
+            replay_rate.observe(result.replay_seconds)
+        write_metrics_text(
+            registry.snapshot(), args.metrics_text, {"run_id": ctx.run_id}
+        )
+        print(f"wrote metrics: {args.metrics_text}")
     return 0
 
 

@@ -91,6 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSON run manifest per experiment into DIR",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write one merged Chrome/Perfetto trace JSON covering every "
+        "experiment in this invocation",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every N-th span event (default 1 = all)",
+    )
+    parser.add_argument(
         "--log-level",
         metavar="LEVEL",
         help="logging level (default: $REPRO_LOG_LEVEL or WARNING)",
@@ -115,8 +128,14 @@ def run_experiments(
     csv_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     workers: int = 1,
+    trace_out: Optional[str] = None,
+    trace_sample: int = 1,
 ) -> int:
     logger = obs_log.get_logger("experiments")
+    from repro.obs import tracing
+
+    ctx = tracing.activate(tracing.TraceContext.new_run("gspc-experiments"))
+    collected_events: List[dict] = []
     total = len(ids)
     for position, experiment_id in enumerate(ids, start=1):
         experiment = get_experiment(experiment_id)
@@ -124,31 +143,47 @@ def run_experiments(
         print(f"paper claim: {experiment.paper_claim}")
         logger.info("starting %s (%d/%d)", experiment.id, position, total)
         spans = SpanRecorder()
+        if trace_out:
+            spans.enable_events(
+                sample_period=trace_sample,
+                context=ctx.child(experiment.id),
+            )
         started = time.perf_counter()
         report = None
-        if workers > 1:
-            plan = plan_for_experiment(experiment, config)
-            if plan:
-                logger.info(
-                    "%s: fanning %d jobs over %d workers",
-                    experiment.id, len(plan), workers,
-                )
-                print(f"parallel: {len(plan)} jobs over {workers} workers")
-                with spans.span("parallel"):
-                    report = run_jobs(
-                        plan, config, workers, progress=_job_progress
+        # try/finally so an experiment that raises cannot leave the
+        # recorder with open spans (and skew the others' aggregates).
+        try:
+            if workers > 1:
+                plan = plan_for_experiment(experiment, config)
+                if plan:
+                    logger.info(
+                        "%s: fanning %d jobs over %d workers",
+                        experiment.id, len(plan), workers,
                     )
-                seed_outcomes(report.outcomes, config)
-                logger.info(
-                    "%s: parallel wave done in %.2fs (serial estimate %.2fs, "
-                    "speedup %.2fx)",
-                    experiment.id,
-                    report.wall_seconds,
-                    report.serial_seconds_estimate,
-                    report.speedup,
-                )
-        with spans.span("run"):
-            tables = experiment.run(config)
+                    print(f"parallel: {len(plan)} jobs over {workers} workers")
+                    with spans.span("parallel"):
+                        report = run_jobs(
+                            plan, config, workers, progress=_job_progress,
+                            trace_ctx=ctx if trace_out else None,
+                            trace_sample=trace_sample,
+                        )
+                    seed_outcomes(report.outcomes, config)
+                    logger.info(
+                        "%s: parallel wave done in %.2fs (serial estimate "
+                        "%.2fs, speedup %.2fx)",
+                        experiment.id,
+                        report.wall_seconds,
+                        report.serial_seconds_estimate,
+                        report.speedup,
+                    )
+            with spans.span("run"):
+                tables = experiment.run(config)
+        finally:
+            spans.abandon_open_spans()
+            if trace_out:
+                collected_events.extend(spans.events_payload())
+                if report is not None:
+                    collected_events.extend(report.events())
         elapsed = time.perf_counter() - started
         for table_index, table in enumerate(tables):
             print()
@@ -173,6 +208,17 @@ def run_experiments(
             path = write_manifest(manifest, metrics_dir)
             print(f"wrote {path}")
         print(f"[{position}/{total}] {experiment.id} completed in {elapsed:.1f}s")
+    if trace_out:
+        from repro.obs.traceexport import build_chrome_trace, write_trace_file
+
+        chrome = build_chrome_trace(
+            collected_events,
+            ctx.run_id,
+            process_names={os.getpid(): "gspc-experiments"},
+            extra_metadata={"experiments": list(ids)},
+        )
+        write_trace_file(chrome, trace_out)
+        print(f"wrote trace: {trace_out} ({len(collected_events)} events)")
     return 0
 
 
@@ -217,6 +263,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if problem is not None:
             print(f"error: {problem}", file=sys.stderr)
             return EXIT_USAGE
+    if args.trace_sample < 1:
+        print(
+            f"error: --trace-sample must be >= 1, got {args.trace_sample}",
+            file=sys.stderr,
+        )
+        return 2
     config = ExperimentConfig(
         scale=args.scale,
         frames_per_app=None if args.full else args.frames_per_app,
@@ -224,7 +276,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         engine=args.engine,
     )
     return run_experiments(
-        ids, config, args.csv, args.metrics_out, workers=workers
+        ids,
+        config,
+        args.csv,
+        args.metrics_out,
+        workers=workers,
+        trace_out=args.trace_out,
+        trace_sample=args.trace_sample,
     )
 
 

@@ -12,7 +12,14 @@ Four small, dependency-free pieces that every execution path shares:
 * :mod:`repro.obs.manifest` — JSON run manifests (config + trace +
   metrics + phase timings + event summaries) with a schema validator.
 * :mod:`repro.obs.log` — stdlib logging under the ``repro`` hierarchy,
-  configured from ``--log-level`` / ``$REPRO_LOG_LEVEL``.
+  configured from ``--log-level`` / ``$REPRO_LOG_LEVEL``, stamped with
+  the active trace context.
+* :mod:`repro.obs.tracing` — the cross-process
+  :class:`~repro.obs.tracing.TraceContext` and the bounded
+  :class:`~repro.obs.tracing.TraceCollector` of span events.
+* :mod:`repro.obs.traceexport` — Chrome/Perfetto ``trace_event``
+  export, the trace-file validator, and a Prometheus-style text dump.
+* :mod:`repro.obs.report` — the ``gspc-report`` run-report CLI.
 """
 
 from repro.obs.events import EventRing, SamplingObserver
@@ -37,6 +44,20 @@ from repro.obs.metrics import (
     default_registry,
 )
 from repro.obs.spans import SpanRecorder, default_recorder, span
+from repro.obs.tracing import (
+    TraceCollector,
+    TraceContext,
+    activate,
+    current,
+    deactivate,
+)
+from repro.obs.traceexport import (
+    build_chrome_trace,
+    load_trace_file,
+    prometheus_text,
+    validate_trace,
+    write_trace_file,
+)
 
 __all__ = [
     "Counter",
@@ -60,4 +81,14 @@ __all__ = [
     "load_manifest",
     "validate_manifest",
     "check_manifest",
+    "TraceCollector",
+    "TraceContext",
+    "activate",
+    "current",
+    "deactivate",
+    "build_chrome_trace",
+    "load_trace_file",
+    "prometheus_text",
+    "validate_trace",
+    "write_trace_file",
 ]

@@ -1,4 +1,5 @@
-"""``python -m repro.obs FILE...`` — validate run-manifest JSON files."""
+"""``python -m repro.obs FILE...`` — validate run-manifest and
+Chrome/Perfetto trace JSON files (sniffed by shape)."""
 
 import sys
 

@@ -13,6 +13,11 @@ the ``REPRO_LOG_LEVEL`` environment variable applies everywhere else.
 Configuration is idempotent — repeated calls adjust the level without
 stacking handlers, and nothing is touched until :func:`configure` runs,
 so embedding applications keep control of the logging tree.
+
+When a trace context is active (:func:`repro.obs.tracing.activate`),
+every record emitted through the configured handler is stamped with the
+run id (and job id/attempt inside workers), so interleaved log output
+from many processes stays attributable to its run.
 """
 
 from __future__ import annotations
@@ -27,11 +32,34 @@ from repro.errors import ObservabilityError
 ROOT_LOGGER_NAME = "repro"
 ENV_VAR = "REPRO_LOG_LEVEL"
 DEFAULT_LEVEL = "WARNING"
-_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s%(trace)s: %(message)s"
 _DATE_FORMAT = "%H:%M:%S"
 
 #: Marker attribute identifying the handler installed by configure().
 _HANDLER_TAG = "_repro_obs_handler"
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp the current trace context onto every record as ``trace``.
+
+    The attribute is always set (empty string when no context is
+    active), so the format string stays valid either way.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        from repro.obs import tracing
+
+        context = tracing.current()
+        if context is None:
+            record.trace = ""
+        elif context.job_id:
+            record.trace = (
+                f" [{context.run_id} {context.job_id}"
+                f"#{context.attempt or 1}]"
+            )
+        else:
+            record.trace = f" [{context.run_id}]"
+        return True
 
 
 def get_logger(name: Optional[str] = None) -> logging.Logger:
@@ -68,6 +96,7 @@ def configure(level: Optional[str] = None, stream=None) -> logging.Logger:
     if handler is None:
         handler = logging.StreamHandler(stream or sys.stderr)
         handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        handler.addFilter(TraceContextFilter())
         setattr(handler, _HANDLER_TAG, True)
         root.addHandler(handler)
         root.propagate = False

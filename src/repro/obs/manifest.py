@@ -391,32 +391,46 @@ def check_manifest(manifest: Mapping[str, object]) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """``python -m repro.obs.manifest FILE...`` — validate manifests."""
+    """``python -m repro.obs FILE...`` — validate manifests and traces.
+
+    Files are sniffed: JSON with a top-level ``traceEvents`` key is
+    validated as a Chrome/Perfetto trace
+    (:func:`repro.obs.traceexport.validate_trace`); everything else as a
+    run manifest.
+    """
     import argparse
     import sys
 
+    from repro.obs.traceexport import is_trace, validate_trace
+
     parser = argparse.ArgumentParser(
         prog="repro.obs.manifest",
-        description="Validate run-manifest JSON files against the schema.",
+        description="Validate run-manifest and trace JSON files against "
+        "their schemas.",
     )
-    parser.add_argument("files", nargs="+", help="manifest JSON paths")
+    parser.add_argument("files", nargs="+", help="manifest/trace JSON paths")
     args = parser.parse_args(argv)
     failures = 0
     for path in args.files:
         try:
-            manifest = load_manifest(path)
+            document = load_manifest(path)
         except ObservabilityError as exc:
             print(f"FAIL {path}: {exc}", file=sys.stderr)
             failures += 1
             continue
-        problems = validate_manifest(manifest)
+        if is_trace(document):
+            problems = validate_trace(document)
+            label = "trace"
+        else:
+            problems = validate_manifest(document)
+            label = document.get("kind")
         if problems:
             failures += 1
             print(f"FAIL {path}:", file=sys.stderr)
             for problem in problems:
                 print(f"  - {problem}", file=sys.stderr)
         else:
-            print(f"ok   {path} ({manifest.get('kind')})")
+            print(f"ok   {path} ({label})")
     return 1 if failures else 0
 
 

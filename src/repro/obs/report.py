@@ -1,0 +1,432 @@
+"""gspc-report — one human-readable report for a run.
+
+Merges the three artifact kinds a run leaves behind — JSON manifests
+(:mod:`repro.obs.manifest`), sweep journals (:mod:`repro.sweep.journal`)
+and Chrome trace files (:mod:`repro.obs.traceexport`) — into one
+terminal report: per-phase wall-time breakdown (count/total/mean/max),
+per-policy throughput, worker utilization per pid, and the retry
+timeline of a fault-tolerant sweep.
+
+Inputs are sniffed, so everything composes::
+
+    gspc-report results/small              # a sweep directory
+    gspc-report out/                       # a directory of manifests
+    gspc-report run.trace.json             # a Chrome trace file
+    gspc-report results/small out/sim.json # any mix
+
+Exit codes (docs/observability.md): 0 report printed, 1 nothing usable
+found or unreadable input, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.tables import Table
+from repro.errors import ObservabilityError, ReproError
+from repro.obs import log as obs_log
+from repro.obs.manifest import load_manifest, validate_manifest
+from repro.obs.traceexport import is_trace, validate_trace
+
+EXIT_OK = 0
+EXIT_RUNTIME = 1
+EXIT_USAGE = 2
+
+
+class RunData:
+    """Everything the report found across all inputs."""
+
+    def __init__(self) -> None:
+        self.manifests: List[Tuple[str, Dict[str, object]]] = []
+        self.traces: List[Tuple[str, Dict[str, object]]] = []
+        #: (path, ordered verified journal records)
+        self.journals: List[Tuple[str, List[Dict[str, object]]]] = []
+        self.problems: List[str] = []
+
+    @property
+    def empty(self) -> bool:
+        return not (self.manifests or self.traces or self.journals)
+
+
+def _read_journal(path: str) -> List[Dict[str, object]]:
+    """Verified journal records, in append order (rejects skipped)."""
+    from repro.sweep.journal import verify
+
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            record = verify(data)
+            if record is not None:
+                records.append(record)
+    return records
+
+
+def _collect_file(path: str, data: RunData, explicit: bool = True) -> None:
+    if path.endswith(".jsonl"):
+        try:
+            data.journals.append((path, _read_journal(path)))
+        except OSError as exc:
+            data.problems.append(f"{path}: {exc}")
+        return
+    try:
+        parsed = load_manifest(path)
+    except ObservabilityError as exc:
+        data.problems.append(str(exc))
+        return
+    if is_trace(parsed):
+        issues = validate_trace(parsed)
+        if issues:
+            data.problems.append(f"{path}: invalid trace: {issues[0]}")
+        else:
+            data.traces.append((path, parsed))
+        return
+    if not explicit and not (isinstance(parsed, dict) and "kind" in parsed):
+        # Directory scans hit unrelated JSON (a sweep's spec.json, say);
+        # only flag files the user named themselves.
+        return
+    issues = validate_manifest(parsed)
+    if issues:
+        data.problems.append(f"{path}: invalid manifest: {issues[0]}")
+    else:
+        data.manifests.append((path, parsed))
+
+
+def _collect_dir(directory: str, data: RunData) -> None:
+    """A sweep directory, or any directory holding manifests/traces."""
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        if name.endswith(".jsonl") or name.endswith(".json"):
+            _collect_file(path, data, explicit=False)
+
+
+def collect(paths: Sequence[str]) -> RunData:
+    """Sniff every input path into manifests, traces and journals."""
+    data = RunData()
+    for path in paths:
+        if os.path.isdir(path):
+            _collect_dir(path, data)
+        elif os.path.isfile(path):
+            _collect_file(path, data)
+        else:
+            data.problems.append(f"no such file or directory: {path}")
+    return data
+
+
+# -- sections -----------------------------------------------------------------
+
+def _overview(data: RunData) -> Table:
+    table = Table("Run overview", ["Source", "Kind", "Detail"])
+    for path, manifest in data.manifests:
+        kind = str(manifest.get("kind", "?"))
+        if kind == "sweep":
+            sweep = manifest.get("sweep") or {}
+            detail = (
+                f"{sweep.get('name', '?')}: "
+                f"{sweep.get('completed', 0)}/{sweep.get('total_jobs', 0)} "
+                f"jobs ok, {sweep.get('failed', 0)} failed, "
+                f"{sweep.get('resumed', 0)} resumed"
+            )
+        elif kind == "experiment":
+            experiment = manifest.get("experiment") or {}
+            detail = f"{experiment.get('id', '?')}: {experiment.get('title', '')}"
+        else:
+            trace_meta = manifest.get("trace") or {}
+            detail = (
+                f"{manifest.get('policy', '?')} over "
+                f"{trace_meta.get('accesses', '?')} accesses"
+            )
+        table.add_row(os.path.basename(path), f"manifest/{kind}", detail)
+    for path, trace in data.traces:
+        metadata = trace.get("metadata") or {}
+        events = trace.get("traceEvents") or []
+        spans = sum(1 for e in events if e.get("ph") == "X")
+        pids = metadata.get("pids") or sorted(
+            {e.get("pid") for e in events}
+        )
+        table.add_row(
+            os.path.basename(path),
+            "trace",
+            f"run {metadata.get('run_id', '?')}: {spans} spans "
+            f"across {len(pids)} process(es)",
+        )
+    for path, records in data.journals:
+        oks = sum(1 for r in records if r.get("status") == "ok")
+        table.add_row(
+            os.path.basename(path),
+            "journal",
+            f"{len(records)} attempt record(s), {oks} ok",
+        )
+    return table
+
+
+def _phase_rows(data: RunData) -> Dict[str, List[float]]:
+    """path -> [count, total_seconds, max_seconds], traces preferred."""
+    rows: Dict[str, List[float]] = {}
+
+    def add(path: str, count: float, total: float, longest: float) -> None:
+        entry = rows.setdefault(path, [0, 0.0, 0.0])
+        entry[0] += count
+        entry[1] += total
+        entry[2] = max(entry[2], longest)
+
+    for _, trace in data.traces:
+        for event in trace.get("traceEvents") or []:
+            if event.get("ph") != "X":
+                continue
+            args = event.get("args") or {}
+            path = str(args.get("path", event.get("name", "?")))
+            add(path, 1, float(event.get("dur", 0)) / 1e6,
+                float(event.get("dur", 0)) / 1e6)
+    if rows:
+        return rows
+    # No trace file: fall back to manifest span aggregates.
+    for _, manifest in data.manifests:
+        spans = (manifest.get("phases") or {}).get("spans") or {}
+        if not isinstance(spans, Mapping):
+            continue
+        for path, entry in spans.items():
+            if not isinstance(entry, Mapping):
+                continue
+            add(
+                str(path),
+                float(entry.get("count", 1)),
+                float(entry.get("seconds", 0.0)),
+                float(entry.get("max_seconds", entry.get("seconds", 0.0))),
+            )
+    return rows
+
+
+def _phase_breakdown(data: RunData) -> Optional[Table]:
+    rows = _phase_rows(data)
+    if not rows:
+        return None
+    table = Table(
+        "Phase breakdown",
+        ["Phase", "Count", "Total s", "Mean s", "Max s (p100)"],
+    )
+    for path in sorted(rows, key=lambda p: -rows[p][1]):
+        count, total, longest = rows[path]
+        table.add_row(
+            path,
+            int(count),
+            total,
+            total / count if count else 0.0,
+            longest,
+        )
+    return table
+
+
+def _throughput(data: RunData) -> Optional[Table]:
+    """Per-policy throughput from sweep manifests + journal seconds."""
+    seconds_by_job: Dict[str, float] = {}
+    for _, records in data.journals:
+        for record in records:
+            if record.get("status") == "ok":
+                seconds_by_job.setdefault(
+                    str(record["job"]), float(record.get("seconds", 0.0))
+                )
+    per_policy: Dict[Tuple[str, object], List[float]] = {}
+    for _, manifest in data.manifests:
+        if manifest.get("kind") != "sweep":
+            continue
+        metrics = manifest.get("metrics") or {}
+        if not isinstance(metrics, Mapping):
+            continue
+        for job_id, payload in metrics.items():
+            if not isinstance(payload, Mapping):
+                continue
+            key = (str(payload.get("policy", "?")), payload.get("llc_mb"))
+            entry = per_policy.setdefault(key, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += float(payload.get("accesses", 0) or 0)
+            entry[2] += seconds_by_job.get(str(job_id), 0.0)
+    if not per_policy:
+        return None
+    table = Table(
+        "Per-policy throughput",
+        ["Policy", "LLC MB", "Jobs", "Accesses", "Seconds", "Accesses/s"],
+    )
+    for (policy, llc_mb), (jobs, accesses, seconds) in sorted(
+        per_policy.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        table.add_row(
+            policy,
+            llc_mb,
+            int(jobs),
+            int(accesses),
+            seconds,
+            accesses / seconds if seconds > 0 else None,
+        )
+    return table
+
+
+def _utilization(data: RunData) -> Optional[Table]:
+    """Per-pid busy time from trace root spans vs. the run's wall span."""
+    if not data.traces:
+        return None
+    busy: Dict[int, List[float]] = {}  # pid -> [events, busy_us]
+    start: Optional[float] = None
+    end: Optional[float] = None
+    names: Dict[int, str] = {}
+    for _, trace in data.traces:
+        for event in trace.get("traceEvents") or []:
+            pid = int(event.get("pid", 0))
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                names[pid] = str((event.get("args") or {}).get("name", ""))
+                continue
+            if event.get("ph") != "X":
+                continue
+            ts = float(event.get("ts", 0))
+            dur = float(event.get("dur", 0))
+            start = ts if start is None else min(start, ts)
+            end = ts + dur if end is None else max(end, ts + dur)
+            args = event.get("args") or {}
+            path = str(args.get("path", event.get("name", "?")))
+            entry = busy.setdefault(pid, [0, 0.0])
+            entry[0] += 1
+            # Only root spans count as busy time — nested spans overlap
+            # their parent and would double-count.
+            if "/" not in path:
+                entry[1] += dur
+    if not busy or start is None or end is None:
+        return None
+    wall_us = max(end - start, 1e-9)
+    table = Table(
+        "Worker utilization",
+        ["Process", "Pid", "Spans", "Busy s", "Utilization"],
+    )
+    for pid in sorted(busy):
+        events, busy_us = busy[pid]
+        table.add_row(
+            names.get(pid, f"worker {pid}"),
+            pid,
+            int(events),
+            busy_us / 1e6,
+            f"{100.0 * busy_us / wall_us:.1f}%",
+        )
+    table.notes.append(
+        f"wall span {wall_us / 1e6:.3f}s; busy time counts root spans only"
+    )
+    return table
+
+
+def _retry_timeline(data: RunData) -> Optional[Table]:
+    records = [record for _, journal in data.journals for record in journal]
+    if not records:
+        return None
+    base: Optional[float] = None
+    for record in records:
+        unix = record.get("unix")
+        if isinstance(unix, (int, float)):
+            base = unix if base is None else min(base, unix)
+    table = Table(
+        "Attempt timeline", ["T+", "Job", "Attempt", "Status", "Detail"]
+    )
+    for record in records:
+        unix = record.get("unix")
+        offset = (
+            f"{float(unix) - base:+.2f}s"
+            if base is not None and isinstance(unix, (int, float))
+            else "-"
+        )
+        status = str(record.get("status", "?"))
+        if status == "ok":
+            detail = f"{float(record.get('seconds', 0.0)):.2f}s"
+        else:
+            detail = (
+                f"{record.get('kind', '?')}: {record.get('error', '')}"[:60]
+            )
+        table.add_row(
+            offset,
+            str(record.get("job", "?")),
+            int(record.get("attempt", 0)),
+            status,
+            detail,
+        )
+    return table
+
+
+def render_report(data: RunData) -> str:
+    sections = [_overview(data)]
+    for section in (
+        _phase_breakdown(data),
+        _throughput(data),
+        _utilization(data),
+        _retry_timeline(data),
+    ):
+        if section is not None:
+            sections.append(section)
+    return "\n\n".join(section.render() for section in sections)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gspc-report",
+        description=(
+            "Merge run manifests, sweep journals and trace files into one "
+            "readable run report."
+        ),
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="PATH",
+        help="sweep directory, manifest directory, manifest/trace JSON "
+        "file, or journal JSONL file",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the rendered report to FILE",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="logging level (default: $REPRO_LOG_LEVEL or WARNING)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        obs_log.configure(args.log_level)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    data = collect(args.inputs)
+    for problem in data.problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    if data.empty:
+        print("error: no manifests, traces or journals found", file=sys.stderr)
+        return EXIT_RUNTIME
+    report = render_report(data)
+    print(report)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return EXIT_RUNTIME
+        print(f"\nwrote {args.out}")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,16 @@ timing model — goes into the run manifest's ``phases`` section.
         with recorder.span("replay"):
             ...
     recorder.to_dict()
-    # {"run": {"count": 1, "seconds": ..., "children": {"setup": ...}}}
+    # {"run": {"count": 1, "seconds": ..., "max_seconds": ...,
+    #          "children": {"setup": ...}}}
+
+Beyond the aggregate table the recorder can record **individual timed
+events** for distributed tracing (:func:`enable_events`): every
+completed span becomes one bounded, optionally sampled event dict
+(wall-clock start, duration, pid, trace context — see
+:mod:`repro.obs.tracing`) ready for the Chrome/Perfetto exporter in
+:mod:`repro.obs.traceexport`.  Event recording is off by default and
+costs nothing when off.
 
 The module-level :func:`span` uses a process-wide default recorder for
 quick scripts; library entry points take an explicit recorder argument.
@@ -22,40 +31,194 @@ quick scripts; library entry points take an explicit recorder argument.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ObservabilityError
+from repro.obs.tracing import TraceContext
 
 SpanPath = Tuple[str, ...]
 
+#: Default cap on buffered span events per recorder.
+DEFAULT_MAX_EVENTS = 50_000
+
+
+@dataclasses.dataclass
+class _Frame:
+    """One currently open span."""
+
+    name: str
+    path: SpanPath
+    started: float
+
 
 class SpanRecorder:
-    """Aggregating recorder of nested timing spans."""
+    """Aggregating (and optionally event-recording) span recorder."""
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        *,
+        record_events: bool = False,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        sample_period: int = 1,
+        context: Optional[TraceContext] = None,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
         self._clock = clock
-        self._stack: List[str] = []
-        #: path -> [entry count, total seconds]
+        self._wall = wall
+        self._stack: List[_Frame] = []
+        #: path -> [entry count, total seconds, max seconds]
         self._aggregate: Dict[SpanPath, List[float]] = {}
+        self._events: Optional[List[Dict[str, object]]] = None
+        self._max_events = max_events
+        self._sample_period = 1
+        self._sample_counter = 0
+        self._context = context
+        self.dropped_events = 0
+        if record_events:
+            self.enable_events(
+                max_events=max_events,
+                sample_period=sample_period,
+                context=context,
+            )
+
+    # -- event recording ------------------------------------------------------
+
+    def enable_events(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        sample_period: int = 1,
+        context: Optional[TraceContext] = None,
+    ) -> None:
+        """Start recording one event per completed span.
+
+        ``sample_period=N`` keeps every N-th completed span (the first
+        one always recorded), ``max_events`` bounds the buffer — past
+        it, events are counted in :attr:`dropped_events`, never stored.
+        Re-enabling on a live recorder (e.g. the process default) just
+        updates the knobs.
+        """
+        if max_events < 1:
+            raise ObservabilityError(
+                f"max_events must be >= 1, got {max_events}"
+            )
+        if sample_period < 1:
+            raise ObservabilityError(
+                f"sample_period must be >= 1, got {sample_period}"
+            )
+        if self._events is None:
+            self._events = []
+            # Anchor the monotonic span clock to the wall clock once, so
+            # events from different processes merge onto one timeline.
+            self._anchor_wall = self._wall()
+            self._anchor_perf = self._clock()
+        self._max_events = max_events
+        self._sample_period = sample_period
+        if context is not None:
+            self._context = context
+
+    def disable_events(self) -> None:
+        """Stop (and forget) event recording; aggregates are kept."""
+        self._events = None
+        self._sample_counter = 0
+        self.dropped_events = 0
+
+    @property
+    def events_enabled(self) -> bool:
+        return self._events is not None
+
+    @property
+    def context(self) -> Optional[TraceContext]:
+        return self._context
+
+    def events_payload(self) -> List[Dict[str, object]]:
+        """The buffered span events (copies), oldest first.
+
+        Each event is the plain-dict shape defined in
+        :mod:`repro.obs.tracing`: ``name``/``path``/``ts`` (unix
+        seconds)/``dur`` (seconds)/``pid`` plus the ``ctx`` dict —
+        JSON- and pickle-safe for shipping across process boundaries.
+        """
+        return [dict(event) for event in (self._events or [])]
+
+    # -- span lifecycle -------------------------------------------------------
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
         """Time a named phase; nests under any currently open span."""
-        if not name or "/" in name:
-            raise ObservabilityError(f"invalid span name {name!r}")
-        self._stack.append(name)
-        path = tuple(self._stack)
-        started = self._clock()
+        frame = self._push(name)
         try:
             yield
         finally:
-            elapsed = self._clock() - started
-            self._stack.pop()
-            entry = self._aggregate.setdefault(path, [0, 0.0])
-            entry[0] += 1
-            entry[1] += elapsed
+            self._close(frame)
+
+    def _push(self, name: str) -> _Frame:
+        if not name or "/" in name:
+            raise ObservabilityError(f"invalid span name {name!r}")
+        frame = _Frame(
+            name,
+            tuple(entry.name for entry in self._stack) + (name,),
+            self._clock(),
+        )
+        self._stack.append(frame)
+        return frame
+
+    def _close(self, frame: _Frame) -> None:
+        if frame not in self._stack:
+            return  # already force-closed by abandon_open_spans()
+        # Close any children left open above this frame (leaked by a
+        # manual __enter__ without __exit__) before closing it.
+        while self._stack and self._stack[-1] is not frame:
+            self._finish(self._stack.pop())
+        self._finish(self._stack.pop())
+
+    def _finish(self, frame: _Frame) -> None:
+        elapsed = self._clock() - frame.started
+        entry = self._aggregate.setdefault(frame.path, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += elapsed
+        if elapsed > entry[2]:
+            entry[2] = elapsed
+        if self._events is None:
+            return
+        self._sample_counter += 1
+        if (self._sample_counter - 1) % self._sample_period:
+            return
+        if len(self._events) >= self._max_events:
+            self.dropped_events += 1
+            return
+        event: Dict[str, object] = {
+            "name": frame.name,
+            "path": "/".join(frame.path),
+            "ts": self._anchor_wall + (frame.started - self._anchor_perf),
+            "dur": elapsed,
+            "pid": os.getpid(),
+        }
+        if self._context is not None:
+            event["ctx"] = self._context.to_dict()
+        self._events.append(event)
+
+    def abandon_open_spans(self) -> int:
+        """Force-close every open span (top-of-stack first).
+
+        Exception paths that bail out of a run without unwinding a
+        ``with`` block (a manual ``__enter__``, a killed generator)
+        would otherwise leave the recorder with open spans — and a
+        later :meth:`reset` raising :class:`ObservabilityError`.  CLIs
+        call this in their top-level ``finally``.  Returns the number
+        of spans that had to be closed (0 on a clean run).
+        """
+        closed = 0
+        while self._stack:
+            self._finish(self._stack.pop())
+            closed += 1
+        return closed
+
+    # -- views ----------------------------------------------------------------
 
     @property
     def depth(self) -> int:
@@ -65,15 +228,25 @@ class SpanRecorder:
     def seconds(self, *path: str) -> float:
         """Total seconds accumulated by the span at ``path`` (0 if never
         entered)."""
-        return self._aggregate.get(tuple(path), (0, 0.0))[1]
+        return self._aggregate.get(tuple(path), (0, 0.0, 0.0))[1]
 
     def count(self, *path: str) -> int:
-        return int(self._aggregate.get(tuple(path), (0, 0.0))[0])
+        return int(self._aggregate.get(tuple(path), (0, 0.0, 0.0))[0])
+
+    def max_seconds(self, *path: str) -> float:
+        """Longest single entry of the span at ``path`` (0 if never
+        entered)."""
+        return self._aggregate.get(tuple(path), (0, 0.0, 0.0))[2]
 
     def flat(self) -> Dict[str, Dict[str, float]]:
-        """``{"run/replay": {"count": n, "seconds": s}}`` for manifests."""
+        """``{"run/replay": {"count": n, "seconds": s, "max_seconds": m}}``
+        for manifests."""
         return {
-            "/".join(path): {"count": entry[0], "seconds": entry[1]}
+            "/".join(path): {
+                "count": entry[0],
+                "seconds": entry[1],
+                "max_seconds": entry[2],
+            }
             for path, entry in sorted(self._aggregate.items())
         }
 
@@ -84,21 +257,31 @@ class SpanRecorder:
             level = root
             for name in path[:-1]:
                 level = level.setdefault(
-                    name, {"count": 0, "seconds": 0.0, "children": {}}
+                    name,
+                    {"count": 0, "seconds": 0.0, "max_seconds": 0.0,
+                     "children": {}},
                 )["children"]
             node = level.setdefault(
-                path[-1], {"count": 0, "seconds": 0.0, "children": {}}
+                path[-1],
+                {"count": 0, "seconds": 0.0, "max_seconds": 0.0,
+                 "children": {}},
             )
             node["count"] += entry[0]
             node["seconds"] += entry[1]
+            node["max_seconds"] = max(node["max_seconds"], entry[2])
         return root
 
     def reset(self) -> None:
         if self._stack:
             raise ObservabilityError(
-                f"cannot reset with open spans: {'/'.join(self._stack)}"
+                "cannot reset with open spans: "
+                + "/".join(frame.name for frame in self._stack)
             )
         self._aggregate.clear()
+        if self._events is not None:
+            self._events = []
+        self._sample_counter = 0
+        self.dropped_events = 0
 
 
 #: Process-wide default recorder backing the module-level :func:`span`.

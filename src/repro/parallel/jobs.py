@@ -38,6 +38,7 @@ from repro.experiments.common import (
     seed_frame_result,
 )
 from repro.obs.spans import SpanRecorder
+from repro.obs.tracing import TraceContext
 from repro.workloads.apps import FrameSpec, app_by_name
 
 #: Job kinds in wave order: traces first, then simulations.
@@ -92,6 +93,9 @@ class JobOutcome:
     seconds: float
     #: Flat span breakdown recorded inside the worker.
     spans: dict
+    #: Individual span events (see :mod:`repro.obs.tracing`); empty
+    #: unless the caller passed a trace context to :func:`execute_job`.
+    events: list = dataclasses.field(default_factory=list)
 
 
 def plan_for_experiment(
@@ -128,7 +132,11 @@ def plan_for_experiment(
 
 
 def execute_job(
-    job: SimJob, config: ExperimentConfig, inject: Optional[str] = None
+    job: SimJob,
+    config: ExperimentConfig,
+    inject: Optional[str] = None,
+    trace_ctx: Optional[TraceContext] = None,
+    trace_sample: int = 1,
 ) -> JobOutcome:
     """Run one job to completion (worker-process entry point).
 
@@ -137,35 +145,52 @@ def execute_job(
     the process, ``"hang"`` sleeps past any deadline.  ``"corrupt"`` is
     payload-level and ignored here — only the sweep worker, which owns a
     serialized result payload, can apply it.
+
+    ``trace_ctx`` switches the recorder into event mode: every span this
+    job runs (wrapped under a root span named after the job kind, so the
+    worker's busy time has one top-level event) comes back in
+    :attr:`JobOutcome.events`, stamped with a per-job child context —
+    the raw material of the run's merged Chrome/Perfetto timeline.
+    ``trace_sample`` keeps every N-th completed span (overhead knob).
     """
     if inject in ("crash", "hang"):
         from repro import faults
 
         faults.fire(inject)
     spans = SpanRecorder()
+    if trace_ctx is not None:
+        from repro.obs import tracing
+
+        child = trace_ctx.child(job.job_id) if not trace_ctx.job_id else trace_ctx
+        tracing.activate(child)
+        spans.enable_events(context=child, sample_period=trace_sample)
     started = time.perf_counter()
     spec = job.spec()
-    if job.kind == "trace":
-        with spans.span("trace"):
-            frame_trace(spec, config)
-        value: object = None
-    elif job.kind == "sim":
-        from repro.sim.offline import simulate_trace
+    with spans.span(job.kind):
+        if job.kind == "trace":
+            with spans.span("trace"):
+                frame_trace(spec, config)
+            value: object = None
+        elif job.kind == "sim":
+            from repro.sim.offline import simulate_trace
 
-        with spans.span("trace"):
-            trace = frame_trace(spec, config)
-        value = simulate_trace(
-            trace, job.policy, config.llc(), spans=spans, engine=config.engine
-        )
-    else:  # char
-        from repro.analysis.characterize import characterize_frame
+            with spans.span("trace"):
+                trace = frame_trace(spec, config)
+            value = simulate_trace(
+                trace, job.policy, config.llc(), spans=spans,
+                engine=config.engine,
+            )
+        else:  # char
+            from repro.analysis.characterize import characterize_frame
 
-        with spans.span("trace"):
-            trace = frame_trace(spec, config)
-        with spans.span("characterize"):
-            value = characterize_frame(trace, job.policy, config.llc())
+            with spans.span("trace"):
+                trace = frame_trace(spec, config)
+            with spans.span("characterize"):
+                value = characterize_frame(trace, job.policy, config.llc())
     seconds = time.perf_counter() - started
-    return JobOutcome(job, value, seconds, spans.flat())
+    return JobOutcome(
+        job, value, seconds, spans.flat(), spans.events_payload()
+    )
 
 
 def seed_outcomes(

@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.errors import ParallelError
 from repro.experiments.common import ExperimentConfig
 from repro.faults import FaultSpec
+from repro.obs.tracing import TraceContext
 from repro.parallel.jobs import JobOutcome, SimJob, execute_job
 
 #: progress callback: (completed_count, total, outcome)
@@ -79,6 +80,12 @@ class ParallelReport:
             ],
         }
 
+    def events(self) -> List[dict]:
+        """Every span event the workers shipped back, in plan order."""
+        return [
+            event for outcome in self.outcomes for event in outcome.events
+        ]
+
 
 def _waves(jobs: Sequence[SimJob]) -> List[List[SimJob]]:
     traces = [job for job in jobs if job.kind == "trace"]
@@ -92,6 +99,8 @@ def run_jobs(
     workers: int,
     progress: Optional[ProgressFn] = None,
     fault: Optional[FaultSpec] = None,
+    trace_ctx: Optional[TraceContext] = None,
+    trace_sample: int = 1,
 ) -> ParallelReport:
     """Execute ``jobs`` over ``workers`` processes.
 
@@ -106,6 +115,10 @@ def run_jobs(
     crashed worker takes the whole run down with ``BrokenProcessPool``
     (and with ``workers == 1``, the calling process itself) — exactly
     the failure mode :mod:`repro.sweep` exists to survive.
+
+    ``trace_ctx`` propagates the run's trace context into every worker;
+    each outcome then carries the worker's span events
+    (:meth:`ParallelReport.events` merges them for the trace exporter).
     """
     if workers < 1:
         raise ParallelError(f"worker count must be >= 1, got {workers}")
@@ -129,12 +142,19 @@ def run_jobs(
 
     if workers == 1:
         for job in jobs:
-            record(execute_job(job, config, injection(job)))
+            record(
+                execute_job(
+                    job, config, injection(job), trace_ctx, trace_sample
+                )
+            )
     else:
         with ProcessPoolExecutor(max_workers=workers) as executor:
             for wave in _waves(jobs):
                 pending = {
-                    executor.submit(execute_job, job, config, injection(job))
+                    executor.submit(
+                        execute_job, job, config, injection(job), trace_ctx,
+                        trace_sample,
+                    )
                     for job in wave
                 }
                 while pending:
@@ -152,8 +172,14 @@ def run_jobs(
 # -- per-policy simulation fan-out (gspc-sim) --------------------------------
 
 def _simulate_policy(
-    trace, policy: str, llc_config, telemetry: bool, engine: str
-) -> Tuple[str, object, Optional[dict], Optional[dict], str]:
+    trace,
+    policy: str,
+    llc_config,
+    telemetry: bool,
+    engine: str,
+    trace_ctx: Optional[TraceContext] = None,
+    trace_sample: int = 1,
+) -> Tuple[str, object, Optional[dict], Optional[dict], str, list]:
     """Worker: replay one policy; returns pickled-down telemetry."""
     from repro.fastsim.dispatch import ENGINE_FAST, choose_engine
     from repro.obs.events import SamplingObserver
@@ -167,17 +193,33 @@ def _simulate_policy(
     observer = (
         SamplingObserver() if telemetry and engine != ENGINE_FAST else None
     )
-    spans = SpanRecorder() if telemetry else None
+    spans = SpanRecorder() if telemetry or trace_ctx is not None else None
+    if trace_ctx is not None and spans is not None:
+        from repro.obs import tracing
+
+        child = trace_ctx.child(f"sim:{policy}")
+        tracing.activate(child)
+        spans.enable_events(context=child, sample_period=trace_sample)
     engine_used = choose_engine(engine, policy, observer)
-    result = simulate_trace(
-        trace, policy, llc_config, observer=observer, spans=spans, engine=engine
-    )
+    if trace_ctx is not None and spans is not None:
+        # Root span = the worker's busy time, one top-level track event.
+        with spans.span("sim"):
+            result = simulate_trace(
+                trace, policy, llc_config, observer=observer, spans=spans,
+                engine=engine,
+            )
+    else:
+        result = simulate_trace(
+            trace, policy, llc_config, observer=observer, spans=spans,
+            engine=engine,
+        )
     return (
         result.policy,
         result,
         observer.summary() if observer is not None else None,
-        spans.flat() if spans is not None else None,
+        spans.flat() if telemetry and spans is not None else None,
         engine_used,
+        spans.events_payload() if spans is not None else [],
     )
 
 
@@ -188,23 +230,31 @@ def run_policy_sims(
     workers: int,
     telemetry: bool = False,
     engine: str = "auto",
-) -> List[Tuple[str, object, Optional[dict], Optional[dict], str]]:
+    trace_ctx: Optional[TraceContext] = None,
+    trace_sample: int = 1,
+) -> List[Tuple[str, object, Optional[dict], Optional[dict], str, list]]:
     """Replay ``trace`` under each policy, fanned out over ``workers``.
 
     Results come back in ``policies`` order (not completion order), each
     as ``(resolved_name, SimResult, events_summary, spans_flat,
-    engine_used)`` where ``engine_used`` is ``"reference"`` or
-    ``"fast"`` (the resolved choice, never ``"auto"``).
+    engine_used, trace_events)`` where ``engine_used`` is
+    ``"reference"`` or ``"fast"`` (the resolved choice, never
+    ``"auto"``) and ``trace_events`` is the worker's span-event list
+    (empty without a ``trace_ctx``).
     """
     if workers <= 1 or len(policies) <= 1:
         return [
-            _simulate_policy(trace, policy, llc_config, telemetry, engine)
+            _simulate_policy(
+                trace, policy, llc_config, telemetry, engine, trace_ctx,
+                trace_sample,
+            )
             for policy in policies
         ]
     with ProcessPoolExecutor(max_workers=min(workers, len(policies))) as pool:
         futures = [
             pool.submit(
-                _simulate_policy, trace, policy, llc_config, telemetry, engine
+                _simulate_policy, trace, policy, llc_config, telemetry,
+                engine, trace_ctx, trace_sample,
             )
             for policy in policies
         ]

@@ -33,6 +33,10 @@ from repro.errors import ReproError, SweepError
 from repro.faults import FAULT_ENV, FaultSpec
 from repro.fastsim.dispatch import ENGINE_AUTO, ENGINES
 from repro.obs import log as obs_log
+from repro.obs import tracing
+from repro.obs.spans import default_recorder
+from repro.obs.tracing import TraceCollector, TraceContext
+from repro.obs.traceexport import build_chrome_trace, write_trace_file
 from repro.parallel import resolve_jobs
 from repro.sweep.exec import ProcessLauncher, RetryPolicy, SweepRunner
 from repro.sweep.journal import Journal, journal_path, replay
@@ -152,6 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the trace cache"
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write one merged Chrome/Perfetto trace JSON for the run "
+        "(orchestrator + every worker attempt as separate tracks)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every N-th span event per worker (default 1 = all)",
+    )
+    parser.add_argument(
+        "--metrics-text",
+        metavar="FILE",
+        help="also dump run metrics in Prometheus text format to FILE",
+    )
+    parser.add_argument(
         "--log-level",
         metavar="LEVEL",
         help="logging level (default: $REPRO_LOG_LEVEL or WARNING)",
@@ -230,6 +252,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise SweepError(
                 f"--timeout must be > 0, got {args.timeout}"
             )
+        if args.trace_sample < 1:
+            raise SweepError(
+                f"--trace-sample must be >= 1, got {args.trace_sample}"
+            )
         fault = (
             FaultSpec.parse(args.inject_fault)
             if args.inject_fault
@@ -239,6 +265,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+
+    # One trace context per invocation, even without --trace-out: it
+    # stamps every log line with the run id for free.
+    ctx = tracing.activate(TraceContext.new_run("gspc-sweep"))
+    tracing_on = args.trace_out is not None
+    recorder = default_recorder()
+    collector = None
+    if tracing_on:
+        # disable first: a previous in-process invocation (tests, REPL)
+        # may have left a buffer behind on the shared default recorder.
+        recorder.disable_events()
+        recorder.enable_events(
+            sample_period=args.trace_sample, context=ctx
+        )
+        collector = TraceCollector(ctx)
+    logger.info("run %s starting", ctx.run_id)
 
     problem = ensure_directory(sweep_dir, "--resume" if resuming else "--out")
     if problem is not None:
@@ -252,58 +294,114 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return EXIT_USAGE
 
-    jobs = expand(spec)
-    save_spec(spec, spec_path(sweep_dir))
-    state = replay(journal_path(sweep_dir))
-    cache_dir = None if args.no_cache else args.cache_dir
-    if fault is not None:
-        print(f"fault injection armed: {fault.describe()}")
-        logger.warning("fault injection armed: %s", fault.describe())
+    # Top-level spans are wrapped in try/finally: an exception anywhere
+    # below must not leave open spans on the process-wide recorder (a
+    # later reset() would raise — the span-leak bug this fixes).
+    try:
+        with recorder.span("sweep"):
+            with recorder.span("plan"):
+                jobs = expand(spec)
+                save_spec(spec, spec_path(sweep_dir))
+                state = replay(journal_path(sweep_dir))
+            cache_dir = None if args.no_cache else args.cache_dir
+            if fault is not None:
+                print(f"fault injection armed: {fault.describe()}")
+                logger.warning("fault injection armed: %s", fault.describe())
 
-    print(
-        f"sweep {spec.name!r}: {len(jobs)} jobs "
-        f"({sum(1 for j in jobs if j.kind == 'sim')} sims over "
-        f"{len(spec.policies)} policies x {len(spec.llc_mb)} geometries), "
-        f"{workers} worker(s)"
-    )
-    if resuming:
-        print(
-            f"resume: {len(state.completed)} of {len(jobs)} jobs already "
-            f"journalled"
-            + (
-                f", {state.rejected_lines} corrupt journal line(s) rejected"
-                if state.rejected_lines
-                else ""
+            print(
+                f"sweep {spec.name!r}: {len(jobs)} jobs "
+                f"({sum(1 for j in jobs if j.kind == 'sim')} sims over "
+                f"{len(spec.policies)} policies x {len(spec.llc_mb)} "
+                f"geometries), {workers} worker(s)"
             )
-        )
+            if tracing_on:
+                print(f"tracing run {ctx.run_id} -> {args.trace_out}")
+            if resuming:
+                print(
+                    f"resume: {len(state.completed)} of {len(jobs)} jobs "
+                    f"already journalled"
+                    + (
+                        f", {state.rejected_lines} corrupt journal line(s) "
+                        "rejected"
+                        if state.rejected_lines
+                        else ""
+                    )
+                )
 
-    launcher = ProcessLauncher(
-        spec, cache_dir, os.path.join(sweep_dir, TMP_DIRNAME), fault
-    )
-    with Journal(journal_path(sweep_dir)) as journal:
-        runner = SweepRunner(
-            jobs,
-            launcher,
-            journal,
-            workers=workers,
-            timeout=args.timeout,
-            retry=retry,
-            progress=print,
-        )
-        outcome = runner.run(state)
+            launcher = ProcessLauncher(
+                spec,
+                cache_dir,
+                os.path.join(sweep_dir, TMP_DIRNAME),
+                fault,
+                trace_ctx=ctx if tracing_on else None,
+                trace_sample=args.trace_sample,
+            )
+            with recorder.span("run"):
+                with Journal(journal_path(sweep_dir)) as journal:
+                    runner = SweepRunner(
+                        jobs,
+                        launcher,
+                        journal,
+                        workers=workers,
+                        timeout=args.timeout,
+                        retry=retry,
+                        progress=print,
+                        collector=collector,
+                    )
+                    outcome = runner.run(state)
 
-    paths = write_reports(
-        sweep_dir,
-        spec,
-        jobs,
-        outcome,
-        workers=workers,
-        timeout=args.timeout,
-        retry=retry,
-        rejected_journal_lines=state.rejected_lines,
-    )
-    for label, path in sorted(paths.items()):
-        print(f"wrote {label}: {path}")
+            with recorder.span("reports"):
+                paths = write_reports(
+                    sweep_dir,
+                    spec,
+                    jobs,
+                    outcome,
+                    workers=workers,
+                    timeout=args.timeout,
+                    retry=retry,
+                    rejected_journal_lines=state.rejected_lines,
+                )
+        for label, path in sorted(paths.items()):
+            print(f"wrote {label}: {path}")
+    finally:
+        leaked = recorder.abandon_open_spans()
+        if leaked:
+            logger.debug("closed %d leaked span(s) on exit", leaked)
+
+    if tracing_on:
+        events = recorder.events_payload() + collector.events
+        trace = build_chrome_trace(
+            events,
+            ctx.run_id,
+            process_names={os.getpid(): "gspc-sweep orchestrator"},
+            extra_metadata={
+                "sweep": spec.name,
+                "dropped_events": recorder.dropped_events + collector.dropped,
+            },
+        )
+        write_trace_file(trace, args.trace_out)
+        print(
+            f"wrote trace: {args.trace_out} "
+            f"({len(events)} events, {len(trace['metadata']['pids'])} "
+            f"process(es))"
+        )
+    if args.metrics_text:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.traceexport import write_metrics_text
+
+        registry = MetricsRegistry()
+        registry.counter("sweep.jobs.total").inc(len(jobs))
+        registry.counter("sweep.jobs.completed").inc(len(outcome.completed))
+        registry.counter("sweep.jobs.failed").inc(len(outcome.failures))
+        registry.counter("sweep.jobs.resumed").inc(len(outcome.resumed))
+        registry.gauge("sweep.wall_seconds").set(outcome.wall_seconds)
+        duration = registry.histogram("sweep.attempt_seconds")
+        for record in replay(journal_path(sweep_dir)).completed.values():
+            duration.observe(float(record.get("seconds", 0.0)))
+        write_metrics_text(
+            registry.snapshot(), args.metrics_text, {"run_id": ctx.run_id}
+        )
+        print(f"wrote metrics: {args.metrics_text}")
 
     if outcome.failures:
         print(

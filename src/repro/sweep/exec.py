@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SweepError
 from repro.faults import FaultSpec
+from repro.obs.tracing import TraceCollector, TraceContext
 from repro.sweep.journal import Journal, JournalState, RECORD_VERSION
 from repro.sweep.spec import SweepJob, SweepSpec
 from repro.sweep.worker import (
@@ -96,6 +97,12 @@ class AttemptResult:
     #: Failure class: ``crash`` | ``timeout`` | ``corrupt`` | ``error``.
     kind: str = ""
     error: str = ""
+    #: Worker-process telemetry from the result envelope (never part of
+    #: the journalled payload): the worker pid, its flat span table, and
+    #: its individual span events for the merged run timeline.
+    pid: int = 0
+    spans: Optional[Dict[str, object]] = None
+    events: List[Dict[str, object]] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -137,11 +144,15 @@ class ProcessLauncher:
         cache_dir: Optional[str],
         tmp_dir: str,
         fault: Optional[FaultSpec] = None,
+        trace_ctx: Optional[TraceContext] = None,
+        trace_sample: int = 1,
     ):
         self.spec = spec
         self.cache_dir = cache_dir
         self.tmp_dir = tmp_dir
         self.fault = fault
+        self.trace_ctx = trace_ctx
+        self.trace_sample = trace_sample
 
     def start(self, job: SweepJob, index: int, attempt: int) -> _ProcessHandle:
         inject = None
@@ -157,8 +168,14 @@ class ProcessLauncher:
         )
         if os.path.exists(out_path):
             os.unlink(out_path)  # stale handoff from a killed run
+        child_ctx = (
+            self.trace_ctx.child(job.job_id, attempt).to_dict()
+            if self.trace_ctx is not None
+            else None
+        )
         payload = job_payload(
-            job, self.spec, self.cache_dir, inject, hang_seconds
+            job, self.spec, self.cache_dir, inject, hang_seconds, child_ctx,
+            self.trace_sample,
         )
         process = multiprocessing.Process(
             target=run_job_in_worker, args=(payload, out_path), daemon=True
@@ -182,10 +199,15 @@ class ProcessLauncher:
                 envelope = load_result(handle.out_path, handle.job.job_id)
             except SweepError as exc:
                 return AttemptResult(ok=False, kind="corrupt", error=str(exc))
+            events = envelope.get("events")
+            spans = envelope.get("spans")
             return AttemptResult(
                 ok=True,
                 payload=envelope["payload"],  # type: ignore[arg-type]
                 seconds=float(envelope.get("seconds", 0.0)),  # type: ignore[arg-type]
+                pid=int(envelope.get("pid", 0) or 0),  # type: ignore[arg-type]
+                spans=spans if isinstance(spans, dict) else None,
+                events=list(events) if isinstance(events, list) else [],
             )
         finally:
             if os.path.exists(handle.out_path):
@@ -220,6 +242,9 @@ class _Running:
     attempt: int
     index: int
     deadline: Optional[float]
+    #: Wall-clock start, anchoring the orchestrator's attempt span on
+    #: the same unix timeline the workers' events use.
+    started_unix: float = 0.0
 
 
 class SweepRunner:
@@ -238,6 +263,8 @@ class SweepRunner:
         sleep: Callable[[float], None] = time.sleep,
         poll_interval: float = POLL_INTERVAL,
         progress: Optional[Callable[[str], None]] = None,
+        collector: Optional[TraceCollector] = None,
+        wall: Callable[[], float] = time.time,
     ):
         if workers < 1:
             raise SweepError(f"worker count must be >= 1, got {workers}")
@@ -253,10 +280,35 @@ class SweepRunner:
         self.sleep = sleep
         self.poll_interval = poll_interval
         self.progress = progress
+        #: Optional sink for the run's merged span-event timeline: one
+        #: orchestrator-side span per attempt, plus whatever events each
+        #: worker shipped back in its result envelope.
+        self.collector = collector
+        self.wall = wall
 
     def _say(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
+
+    def _trace_attempt(self, entry: "_Running", result: AttemptResult) -> None:
+        """Feed the run's trace collector with one finished attempt.
+
+        Records an orchestrator-side span covering the attempt's wall
+        time (path ``attempt`` on success, ``attempt/<kind>`` on
+        failure) and merges in whatever events the worker shipped back.
+        """
+        if self.collector is None:
+            return
+        job_id = entry.job.job_id
+        self.collector.add_span(
+            job_id,
+            entry.started_unix,
+            max(0.0, self.wall() - entry.started_unix),
+            path="attempt" if result.ok else f"attempt/{result.kind}",
+            ctx=self.collector.context.child(job_id, entry.attempt),
+            args={"attempt": entry.attempt, "ok": result.ok},
+        )
+        self.collector.extend(result.events)
 
     def run(self, resume: Optional[JournalState] = None) -> SweepOutcome:
         started = self.clock()
@@ -334,7 +386,8 @@ class SweepRunner:
                     else None
                 )
                 running[job_id] = _Running(
-                    handle, job, attempt, index_of[job_id], deadline
+                    handle, job, attempt, index_of[job_id], deadline,
+                    self.wall(),
                 )
                 progressed = True
 
@@ -358,6 +411,7 @@ class SweepRunner:
                     continue
                 progressed = True
                 del running[job_id]
+                self._trace_attempt(entry, result)
                 if result.ok:
                     self.journal.append(
                         {
@@ -366,6 +420,7 @@ class SweepRunner:
                             "status": "ok",
                             "attempt": entry.attempt,
                             "seconds": result.seconds,
+                            "unix": self.wall(),
                             "payload": result.payload,
                         }
                     )
@@ -385,6 +440,7 @@ class SweepRunner:
                         "attempt": entry.attempt,
                         "kind": result.kind,
                         "error": result.error,
+                        "unix": self.wall(),
                     }
                 )
                 failed_attempts = executed[job_id]

@@ -18,6 +18,7 @@ path.
 from __future__ import annotations
 
 import json
+import os
 import re
 from typing import Dict, Optional
 
@@ -44,8 +45,16 @@ def job_payload(
     cache_dir: Optional[str],
     inject: Optional[str] = None,
     hang_seconds: float = 300.0,
+    trace_ctx: Optional[Dict[str, object]] = None,
+    trace_sample: int = 1,
 ) -> Dict[str, object]:
-    """The picklable description of one attempt."""
+    """The picklable description of one attempt.
+
+    ``trace_ctx`` is the serialized per-attempt
+    :class:`~repro.obs.tracing.TraceContext` (already narrowed to this
+    job id and attempt number by the launcher); the worker activates it
+    so its spans, logs, and shipped events correlate to the parent run.
+    """
     return {
         "job": job.job_id,
         "kind": job.kind,
@@ -58,6 +67,8 @@ def job_payload(
         "cache_dir": cache_dir,
         "inject": inject,
         "hang_seconds": hang_seconds,
+        "trace_ctx": trace_ctx,
+        "trace_sample": trace_sample,
     }
 
 
@@ -81,7 +92,15 @@ def run_job_in_worker(payload: Dict[str, object], out_path: str) -> None:
         cache_dir=payload["cache_dir"],  # type: ignore[arg-type]
         engine=str(payload["engine"]),
     )
-    outcome = execute_job(sim_job, config)
+    from repro.obs.tracing import TraceContext
+
+    trace_ctx = TraceContext.from_dict(payload.get("trace_ctx"))  # type: ignore[arg-type]
+    outcome = execute_job(
+        sim_job,
+        config,
+        trace_ctx=trace_ctx,
+        trace_sample=int(payload.get("trace_sample", 1) or 1),  # type: ignore[arg-type]
+    )
     result: Dict[str, object] = {
         "job": payload["job"],
         "kind": payload["kind"],
@@ -99,10 +118,17 @@ def run_job_in_worker(payload: Dict[str, object], out_path: str) -> None:
             accesses=sim_result.accesses,
             metrics=sim_result.stats.snapshot(),
         )
+    # Timing telemetry rides in the *envelope*, never in ``payload``:
+    # the journal stores only the payload, and CI diffs journal/manifest
+    # metrics byte-for-byte between clean and resumed runs — wall-clock
+    # data there would break that determinism contract.
     envelope = {
         "v": RESULT_VERSION,
         "payload": result,
         "seconds": outcome.seconds,
+        "pid": os.getpid(),
+        "spans": outcome.spans,
+        "events": outcome.events,
     }
     text = canonical_json({**envelope, "sha256": checksum(envelope)})
     if inject == "corrupt":

@@ -181,6 +181,49 @@ def test_engine_fast_manifest_records_fast(tiny_trace_path, tmp_path):
     assert manifest["events"] is None  # fast kernels have no observer
 
 
+def test_trace_out_writes_valid_chrome_trace(tiny_trace_path, tmp_path):
+    from repro.obs.traceexport import load_trace_file, validate_trace
+
+    trace_path = str(tmp_path / "run.trace.json")
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "drrip", "lru",
+         "--jobs", "2", "--trace-out", trace_path]
+    ) == 0
+    trace = load_trace_file(trace_path)
+    assert validate_trace(trace) == []
+    assert trace["metadata"]["run_id"].startswith("gspc-sim-")
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert spans, "no span events exported"
+    # One root "sim" span per policy, each stamped with its job id.
+    roots = [e for e in spans if e["name"] == "sim"]
+    assert {e["args"]["job_id"] for e in roots} == {
+        "sim:drrip", "sim:lru",
+    }
+    assert {e["args"]["run_id"] for e in spans} == {
+        trace["metadata"]["run_id"]
+    }
+
+
+def test_trace_sample_must_be_positive(tiny_trace_path, capsys):
+    assert main(
+        ["--trace", tiny_trace_path, "--trace-sample", "0"]
+    ) == 2
+    assert "--trace-sample must be >= 1" in capsys.readouterr().err
+
+
+def test_metrics_text_dump(tiny_trace_path, tmp_path):
+    metrics_path = str(tmp_path / "metrics.prom")
+    assert main(
+        ["--trace", tiny_trace_path, "--policies", "drrip",
+         "--metrics-text", metrics_path]
+    ) == 0
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    assert "# TYPE repro_sim_policies counter" in text
+    assert "repro_sim_misses_drrip" in text
+    assert 'run_id="gspc-sim-' in text
+
+
 def test_verbose_sets_debug_level(tiny_trace_path):
     assert main(
         ["--trace", tiny_trace_path, "--policies", "lru", "--verbose"]

@@ -1,9 +1,12 @@
-"""Span nesting and aggregation."""
+"""Span nesting, aggregation, and per-span event recording."""
+
+import os
 
 import pytest
 
 from repro.errors import ObservabilityError
 from repro.obs.spans import SpanRecorder, default_recorder, span
+from repro.obs.tracing import TraceContext
 
 
 class FakeClock:
@@ -95,3 +98,115 @@ def test_module_level_span_uses_default_recorder():
     with span("module-span-test"):
         pass
     assert default_recorder().count("module-span-test") == before + 1
+
+
+# -- count / max aggregates ---------------------------------------------------
+
+def test_max_seconds_tracks_longest_entry():
+    clock = FakeClock(step=0.0)
+    recorder = SpanRecorder(clock=clock)
+    for duration in (1.0, 5.0, 2.0):
+        clock.step = duration / 2  # entry + exit reads bracket the body
+        with recorder.span("replay"):
+            pass
+    assert recorder.count("replay") == 3
+    assert recorder.max_seconds("replay") == pytest.approx(2.5)
+    flat = recorder.flat()["replay"]
+    assert set(flat) == {"count", "seconds", "max_seconds"}
+    assert flat["max_seconds"] == pytest.approx(2.5)
+    tree = recorder.to_dict()
+    assert tree["replay"]["max_seconds"] == pytest.approx(2.5)
+
+
+# -- event recording ----------------------------------------------------------
+
+def test_events_off_by_default():
+    recorder = SpanRecorder(clock=FakeClock())
+    with recorder.span("replay"):
+        pass
+    assert not recorder.events_enabled
+    assert recorder.events_payload() == []
+
+
+def test_events_record_shape_and_context():
+    ctx = TraceContext.new_run("test").child("sim:x", attempt=2)
+    recorder = SpanRecorder(record_events=True, context=ctx)
+    with recorder.span("run"):
+        with recorder.span("replay"):
+            pass
+    events = recorder.events_payload()
+    assert [e["path"] for e in events] == ["run/replay", "run"]  # close order
+    for event in events:
+        assert event["pid"] == os.getpid()
+        assert event["dur"] >= 0.0
+        assert event["ts"] > 0.0  # wall-clock anchored
+        assert event["ctx"] == {
+            "run_id": ctx.run_id, "job_id": "sim:x", "attempt": 2,
+        }
+
+
+def test_event_sampling_keeps_every_nth():
+    recorder = SpanRecorder(record_events=True, sample_period=3)
+    for _ in range(7):
+        with recorder.span("replay"):
+            pass
+    # First span always kept, then every third: spans 1, 4, 7.
+    assert len(recorder.events_payload()) == 3
+    assert recorder.count("replay") == 7  # aggregates see everything
+
+
+def test_event_buffer_is_bounded():
+    recorder = SpanRecorder(record_events=True, max_events=2)
+    for _ in range(5):
+        with recorder.span("replay"):
+            pass
+    assert len(recorder.events_payload()) == 2
+    assert recorder.dropped_events == 3
+
+
+def test_enable_events_validates_knobs():
+    recorder = SpanRecorder()
+    with pytest.raises(ObservabilityError):
+        recorder.enable_events(max_events=0)
+    with pytest.raises(ObservabilityError):
+        recorder.enable_events(sample_period=0)
+
+
+def test_disable_events_forgets_buffer_keeps_aggregates():
+    recorder = SpanRecorder(record_events=True)
+    with recorder.span("replay"):
+        pass
+    recorder.disable_events()
+    assert recorder.events_payload() == []
+    assert not recorder.events_enabled
+    assert recorder.count("replay") == 1
+
+
+# -- span-leak regression (CLI exception paths) -------------------------------
+
+def test_abandon_open_spans_closes_leaks_and_reset_succeeds():
+    """A run that bails out mid-span (the CLI exception path) must be
+    able to abandon the open spans so a later reset() cannot raise."""
+    recorder = SpanRecorder(clock=FakeClock())
+    outer = recorder.span("sweep")
+    outer.__enter__()
+    inner = recorder.span("run")
+    inner.__enter__()
+    # ...exception unwinds without ever calling __exit__...
+    assert recorder.depth == 2
+    assert recorder.abandon_open_spans() == 2
+    assert recorder.depth == 0
+    assert recorder.count("sweep") == 1
+    assert recorder.count("sweep", "run") == 1
+    recorder.reset()  # must not raise ObservabilityError
+    assert recorder.flat() == {}
+    assert recorder.abandon_open_spans() == 0  # idempotent on clean state
+
+
+def test_close_after_abandon_is_noop():
+    recorder = SpanRecorder(clock=FakeClock())
+    guard = recorder.span("orphan")
+    guard.__enter__()
+    recorder.abandon_open_spans()
+    guard.__exit__(None, None, None)  # late unwind must not double-close
+    assert recorder.count("orphan") == 1

@@ -106,7 +106,7 @@ def test_every_registered_policy_matches_serial(mixed_trace):
     policies = available_policies()
     parallel = run_policy_sims(mixed_trace, policies, LLC, workers=2)
     assert [name for name, *_ in parallel] != []
-    for requested, (name, result, events, spans, engine) in zip(
+    for requested, (name, result, events, spans, engine, trace_events) in zip(
         policies, parallel
     ):
         serial = simulate_trace(mixed_trace, requested, LLC)
@@ -115,10 +115,11 @@ def test_every_registered_policy_matches_serial(mixed_trace):
         assert result.accesses == serial.accesses
         assert events is None and spans is None
         assert engine in ("reference", "fast")
+        assert trace_events == []  # no trace context -> no span events
 
 
 def test_run_policy_sims_returns_telemetry(mixed_trace):
-    [(name, result, events, spans, engine)] = run_policy_sims(
+    [(name, result, events, spans, engine, _)] = run_policy_sims(
         mixed_trace, ["drrip"], LLC, workers=2, telemetry=True
     )
     assert events is not None and "sample_period" in events
@@ -162,6 +163,57 @@ def test_run_jobs_serial_worker_same_path():
     report = run_jobs(plan, TINY, workers=1)
     assert [outcome.job for outcome in report.outcomes] == list(plan)
     assert all(outcome.value is not None for outcome in report.outcomes)
+
+
+# -- cross-process span shipping ----------------------------------------------
+
+def test_worker_spans_ship_across_processes(mixed_trace):
+    """Span events recorded inside real worker processes come back with
+    the parent run id stamped on them, and the merged timeline carries
+    the same phase structure a serial run records."""
+    from repro.obs.tracing import TraceContext
+    from repro.obs.traceexport import build_chrome_trace, validate_trace
+
+    ctx = TraceContext.new_run("test")
+    policies = ["drrip", "nru"]
+    serial = run_policy_sims(
+        mixed_trace, policies, LLC, workers=1, trace_ctx=ctx
+    )
+    parallel = run_policy_sims(
+        mixed_trace, policies, LLC, workers=2, trace_ctx=ctx
+    )
+    serial_paths = [sorted({e["path"] for e in ev}) for *_, ev in serial]
+    parallel_paths = [sorted({e["path"] for e in ev}) for *_, ev in parallel]
+    assert parallel_paths == serial_paths
+    assert all(paths for paths in serial_paths)  # phases actually recorded
+    assert all("sim" in paths for paths in serial_paths)  # root span
+
+    events = [e for *_, ev in parallel for e in ev]
+    # Every event is stamped with the parent run and its policy's job id,
+    # and carries a worker pid — not the orchestrator's.
+    assert {e["ctx"]["run_id"] for e in events} == {ctx.run_id}
+    assert {e["ctx"]["job_id"] for e in events} == {"sim:drrip", "sim:nru"}
+    assert all(e["pid"] != os.getpid() for e in events)
+    # The merged timeline exports to a valid Chrome/Perfetto trace.
+    trace_doc = build_chrome_trace(events, ctx.run_id)
+    assert validate_trace(trace_doc) == []
+
+
+def test_run_jobs_ships_events_in_plan_order():
+    from repro.obs.tracing import TraceContext
+
+    ctx = TraceContext.new_run("test")
+    plan = plan_for_experiment(get_experiment("fig08"), TINY)[:2]
+    report = run_jobs(plan, TINY, workers=2, trace_ctx=ctx)
+    events = report.events()
+    assert events, "workers shipped no span events"
+    assert {e["ctx"]["run_id"] for e in events} == {ctx.run_id}
+    # Root span per job is named after the job kind.
+    roots = [e for e in events if "/" not in e["path"]]
+    assert {e["name"] for e in roots} == {job.kind for job in plan}
+    # Without a context, no events are recorded or shipped.
+    quiet = run_jobs(plan, TINY, workers=1)
+    assert quiet.events() == []
 
 
 # -- manifest section ---------------------------------------------------------

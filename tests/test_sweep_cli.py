@@ -160,6 +160,77 @@ def test_fault_spec_honoured_from_environment(tmp_path, cache_dir, monkeypatch):
     ) == 3
 
 
+def test_traced_parallel_sweep_acceptance(tmp_path, cache_dir):
+    """The PR's acceptance criterion: a --jobs >= 2 sweep with
+    --trace-out produces one Chrome/Perfetto-loadable trace that
+    validates, with spans from >= 2 distinct worker pids all correlated
+    to the parent run id."""
+    from repro.obs.traceexport import load_trace_file, validate_trace
+
+    out = str(tmp_path / "sweep")
+    trace_path = os.path.join(out, "trace.json")
+    assert run_cli(
+        "--out", out, "--cache-dir", cache_dir, *BASE,
+        "--jobs", "2", "--trace-out", trace_path,
+    ) == 0
+    trace = load_trace_file(trace_path)
+    assert validate_trace(trace) == []
+    run_id = trace["metadata"]["run_id"]
+    assert run_id.startswith("gspc-sweep-")
+
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    # Orchestrator phases are present...
+    names = {e["name"] for e in spans}
+    assert {"sweep", "plan", "run", "reports"} <= names
+    # ...plus one attempt span per job, in the orchestrator's track.
+    orchestrator_pid = next(e["pid"] for e in spans if e["name"] == "sweep")
+    attempts = [e for e in spans if e["name"].startswith("sim:")
+                or e["name"].startswith("trace:")]
+    assert len(attempts) == 3  # 1 trace + 2 sims
+    assert all(e["pid"] == orchestrator_pid for e in attempts)
+    # Worker spans come from the per-attempt processes: every attempt
+    # is its own process, so three jobs mean >= 2 distinct worker pids.
+    worker_pids = {e["pid"] for e in spans} - {orchestrator_pid}
+    assert len(worker_pids) >= 2
+    # Every span that names a run belongs to this run.
+    assert {e["args"]["run_id"] for e in spans
+            if "run_id" in e["args"]} == {run_id}
+    # Worker-side spans carry job ids + attempt numbers for correlation.
+    worker_spans = [e for e in spans if e["pid"] in worker_pids]
+    assert worker_spans
+    assert all(e["args"].get("job_id") for e in worker_spans)
+
+    # Tracing must not perturb results: the CSV matches an untraced run.
+    plain = str(tmp_path / "plain")
+    assert run_cli("--out", plain, "--cache-dir", cache_dir, *BASE) == 0
+    assert read(os.path.join(out, "results.csv")) == read(
+        os.path.join(plain, "results.csv")
+    )
+
+
+def test_sweep_metrics_text_dump(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    metrics_path = os.path.join(out, "metrics.prom")
+    assert run_cli(
+        "--out", out, "--cache-dir", cache_dir, *BASE,
+        "--metrics-text", metrics_path,
+    ) == 0
+    with open(metrics_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    assert "# TYPE repro_sweep_jobs_total counter" in text
+    assert "repro_sweep_jobs_total" in text
+    assert "repro_sweep_attempt_seconds_count" in text
+    assert 'run_id="gspc-sweep-' in text
+
+
+def test_trace_sample_validated(tmp_path, cache_dir):
+    out = str(tmp_path / "sweep")
+    assert run_cli(
+        "--out", out, "--cache-dir", cache_dir, *BASE,
+        "--trace-sample", "0",
+    ) == 2
+
+
 def test_parallel_sweep_matches_serial_artifacts(tmp_path, cache_dir):
     serial = str(tmp_path / "serial")
     fanned = str(tmp_path / "fanned")
