@@ -21,6 +21,11 @@ over bare ``run_jobs`` (see ``bench_sweep.py``) against
 ``--sweep-overhead-limit`` (default 5%).  When the report carries a
 ``traced_overhead_fraction`` (tracing-enabled sweep vs plain sweep),
 that fraction is held to the same limit.
+
+``--fastsim-report BENCH_fastsim_ci.json --fastsim-baseline
+BENCH_fastsim.json`` gates the fast-engine replay throughput (see
+``bench_fastsim.py``) per workload and policy under the same
+``--threshold`` drop rule, printing the speedup delta table either way.
 """
 
 import argparse
@@ -114,6 +119,66 @@ def check_sweep_overhead(path: str, limit: float) -> list:
     return failures
 
 
+def _load_fastsim_rows(path: str) -> dict:
+    """``(workload, policy) -> row`` from a ``bench_fastsim.py`` report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    workloads = report.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        raise SystemExit(f"error: {path} has no workloads table")
+    return {
+        (workload, policy): row
+        for workload, section in workloads.items()
+        for policy, row in section.get("results", {}).items()
+    }
+
+
+def check_fastsim(report_path: str, baseline_path: str, threshold: float) -> list:
+    """Failure messages for the fast-engine throughput gate.
+
+    Gates ``fast_accesses_per_second`` per (workload, policy) with the
+    same drop rule as the main table, and prints the speedup delta so
+    every CI log records how far ahead of the reference engine each
+    kernel currently is.
+    """
+    current = _load_fastsim_rows(report_path)
+    baseline = _load_fastsim_rows(baseline_path)
+    print(f"{'workload':10s} {'policy':12s} {'baseline':>14s} {'current':>14s} "
+          f"{'delta':>8s} {'speedup':>14s}  status")
+    failures = []
+    for key in sorted(set(baseline) | set(current)):
+        workload, policy = key
+        base = baseline.get(key)
+        now = current.get(key)
+        if base is None:
+            speed = f"x{now['speedup']:.2f}"
+            print(f"{workload:10s} {policy:12s} {'-':>14s} "
+                  f"{now['fast_accesses_per_second']:>14,.0f} {'-':>8s} "
+                  f"{speed:>14s}  new")
+            continue
+        if now is None:
+            print(f"{workload:10s} {policy:12s} "
+                  f"{base['fast_accesses_per_second']:>14,.0f} {'-':>14s} "
+                  f"{'-':>8s} {'-':>14s}  MISSING")
+            failures.append(f"fastsim {workload}/{policy}: missing from report")
+            continue
+        base_fast = float(base["fast_accesses_per_second"])
+        now_fast = float(now["fast_accesses_per_second"])
+        delta = (now_fast - base_fast) / base_fast
+        speed = f"x{base['speedup']:.2f}->x{now['speedup']:.2f}"
+        status = "ok"
+        if delta < -threshold:
+            status = "FAIL"
+            failures.append(
+                f"fastsim {workload}/{policy}: {now_fast:,.0f}/s is "
+                f"{-delta:.1%} below baseline {base_fast:,.0f}/s "
+                f"(limit {threshold:.0%})"
+            )
+        print(f"{workload:10s} {policy:12s} {base_fast:>14,.0f} "
+              f"{now_fast:>14,.0f} {delta:>+8.1%} {speed:>14s}  {status}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail CI when benchmark throughput regresses."
@@ -151,6 +216,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the throughput gate; check only --sweep-report",
     )
+    parser.add_argument(
+        "--fastsim-report",
+        metavar="PATH",
+        help="also gate a fresh bench_fastsim.py report",
+    )
+    parser.add_argument(
+        "--fastsim-baseline",
+        metavar="PATH",
+        default="BENCH_fastsim.json",
+        help="committed fast-engine baseline (default BENCH_fastsim.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.sweep_only:
@@ -177,6 +253,13 @@ def main(argv=None) -> int:
     if args.sweep_report:
         failures.extend(
             check_sweep_overhead(args.sweep_report, args.sweep_overhead_limit)
+        )
+    if args.fastsim_report:
+        print()
+        failures.extend(
+            check_fastsim(
+                args.fastsim_report, args.fastsim_baseline, args.threshold
+            )
         )
     if failures:
         print()

@@ -10,7 +10,9 @@ Only the deterministic sections are compared — ``policy``, ``trace``,
 ``metrics``, ``extras`` and ``config`` — because the rest legitimately
 differs between engines: timestamps, phase timings, the ``engine``
 field itself, and ``events`` (the fast engine records no event
-telemetry).  Directories must contain the same manifest filenames.
+telemetry).  ``engine`` fields are ignored at *any* nesting depth:
+sweep manifests record the engine per job inside ``metrics`` and again
+in ``config``.  Directories must contain the same manifest filenames.
 """
 
 import argparse
@@ -26,14 +28,29 @@ def load(path: str) -> dict:
         return json.load(handle)
 
 
+def strip_engine(value):
+    """``value`` with every nested ``engine`` mapping key removed."""
+    if isinstance(value, dict):
+        return {
+            key: strip_engine(item)
+            for key, item in value.items()
+            if key != "engine"
+        }
+    if isinstance(value, list):
+        return [strip_engine(item) for item in value]
+    return value
+
+
 def diff_pair(left: dict, right: dict, name: str) -> list:
     problems = []
     for key in COMPARED_KEYS:
-        if left.get(key) != right.get(key):
+        left_value = strip_engine(left.get(key))
+        right_value = strip_engine(right.get(key))
+        if left_value != right_value:
             problems.append(
                 f"{name}: section {key!r} differs\n"
-                f"  left:  {json.dumps(left.get(key), sort_keys=True)}\n"
-                f"  right: {json.dumps(right.get(key), sort_keys=True)}"
+                f"  left:  {json.dumps(left_value, sort_keys=True)}\n"
+                f"  right: {json.dumps(right_value, sort_keys=True)}"
             )
     return problems
 

@@ -67,13 +67,17 @@ def frame_trace(spec: FrameSpec, config: ExperimentConfig) -> Trace:
 
     if config.cache_dir is None:
         return generate_frame_trace(spec.app, spec.frame_index, config.scale)
-    key = f"{spec.app.abbrev}_f{spec.frame_index}_s{config.scale:g}.npz"
-    path = os.path.join(config.cache_dir, "traces", key)
-    if os.path.exists(path):
-        try:
-            return load_trace(path)
-        except ReproError:
-            pass  # stale/corrupt cache entry: regenerate below
+    stem = f"{spec.app.abbrev}_f{spec.frame_index}_s{config.scale:g}"
+    path = os.path.join(config.cache_dir, "traces", stem + ".gsct")
+    # Columnar entries memmap zero-copy; pre-columnar caches left behind
+    # ``.npz`` entries, which stay readable instead of being regenerated.
+    legacy = os.path.join(config.cache_dir, "traces", stem + ".npz")
+    for candidate in (path, legacy):
+        if os.path.exists(candidate):
+            try:
+                return load_trace(candidate)
+            except ReproError:
+                pass  # stale/corrupt cache entry: regenerate below
     trace = generate_frame_trace(spec.app, spec.frame_index, config.scale)
     save_trace(trace, path)
     return trace

@@ -44,6 +44,10 @@ class DecodedTrace:
     writes: List[bool]
     #: Next-use index per replayed access (``None`` unless Belady).
     next_uses: Optional[List[int]]
+    #: Bank and sample-set flag of each access's set (``None`` unless
+    #: the kernel needs them — the GSPC family's counter plumbing).
+    banks: Optional[List[int]]
+    samples: Optional[List[bool]]
     #: Bypass count per ``int(Stream)`` (uncached streams only).
     bypasses_per_stream: List[int]
     #: DRAM traffic of the bypassed accesses.
@@ -56,6 +60,7 @@ def decode_trace(
     geometry: CacheGeometry,
     uncached: FrozenSet[Stream] = frozenset(),
     needs_future: bool = False,
+    needs_bank: bool = False,
 ) -> DecodedTrace:
     """Pre-decode ``trace`` for replay under ``geometry``."""
     blocks = trace.block_addresses(geometry.block_bytes)
@@ -83,10 +88,14 @@ def decode_trace(
             if next_uses is not None:
                 next_uses = next_uses[keep]
 
-    bases = (blocks & np.uint64(geometry.num_sets - 1)) * np.uint64(
-        geometry.ways
-    )
+    sets = blocks & np.uint64(geometry.num_sets - 1)
+    bases = sets * np.uint64(geometry.ways)
     sclasses = _CLASS_TABLE[streams]
+    banks = samples = None
+    if needs_bank:
+        set_indices = sets.astype(np.int64)
+        banks = np.asarray(geometry.bank_of_set, dtype=np.int64)[set_indices].tolist()
+        samples = np.asarray(geometry.is_sample_set, dtype=bool)[set_indices].tolist()
     return DecodedTrace(
         blocks=blocks.tolist(),
         bases=bases.tolist(),
@@ -94,6 +103,8 @@ def decode_trace(
         sclasses=sclasses.tolist(),
         writes=writes.tolist(),
         next_uses=next_uses.tolist() if next_uses is not None else None,
+        banks=banks,
+        samples=samples,
         bypasses_per_stream=bypasses,
         bypass_reads=bypass_reads,
         bypass_writes=bypass_writes,

@@ -1,11 +1,13 @@
 """Engine selection: which runs may take the fast replay path.
 
-The fast engine covers the policies whose per-access transitions are
-simple enough to specialize into a flat loop: ``nru``, ``lru``,
-``srrip``, ``drrip`` (any RRPV width, set-dueling included) and
-``belady``.  Everything else — the GSPC family, SHiP, and any run that
-attaches an :class:`~repro.cache.llc.LLCObserver` (the fast kernels
-have no event hooks) — uses the reference engine.
+The fast engine covers the policies whose per-access transitions
+specialize into a flat loop: ``nru``, ``lru``, ``srrip``, ``drrip``
+(any RRPV width, set-dueling included), ``belady``, and the paper's
+GSPC family — ``gspztc``, ``gspztc+tse``, and ``gspc`` (epoch/TSE
+state machine plus PROD/CONS render-target protection).  Everything
+else — SHiP, GS-DRRIP, ``gspc+bypass``, and any run that attaches an
+:class:`~repro.cache.llc.LLCObserver` (the fast kernels have no event
+hooks) — uses the reference engine.
 
 ``auto`` (the default everywhere) picks the fast engine exactly when it
 is applicable and silently falls back otherwise, so results never
@@ -15,14 +17,22 @@ cannot take the fast path.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.base import ReplacementPolicy
 from repro.core.belady import BeladyPolicy
 from repro.core.drrip import DRRIPPolicy
+from repro.core.gspc import GSPCPolicy
+from repro.core.gspztc import GSPZTCPolicy
+from repro.core.gspztc_tse import GSPZTCTSEPolicy
 from repro.core.lru import LRUPolicy
 from repro.core.nru import NRUPolicy
-from repro.core.registry import PolicyLike, resolve_policy
+from repro.core.registry import (
+    PolicyLike,
+    available_policies,
+    policy_spec,
+    resolve_policy,
+)
 from repro.core.srrip import SRRIPPolicy
 from repro.errors import SimulationError
 
@@ -34,19 +44,39 @@ ENGINES = (ENGINE_REFERENCE, ENGINE_FAST, ENGINE_AUTO)
 
 #: Exact policy classes with a specialized kernel, keyed to the kernel
 #: name.  Exact type checks, not ``isinstance``: a subclass (GS-DRRIP
-#: derives from DRRIP, SHiP from SRRIP) overrides hooks the kernel has
-#: inlined, so it must take the reference path.
+#: derives from DRRIP, SHiP from SRRIP, the bypass extension from GSPC)
+#: overrides hooks the kernel has inlined, so it must take the
+#: reference path.
 _KERNEL_OF_TYPE = {
     NRUPolicy: "nru",
     LRUPolicy: "lru",
     SRRIPPolicy: "srrip",
     DRRIPPolicy: "drrip",
     BeladyPolicy: "belady",
+    GSPZTCPolicy: "gspztc",
+    GSPZTCTSEPolicy: "gspztc_tse",
+    GSPCPolicy: "gspc",
 }
+
+
+def _covered_registry_names() -> Tuple[str, ...]:
+    """Registry base names whose *built* policy has a kernel.
+
+    Derived from the registry rather than hand-listed so the strict
+    ``--engine fast`` error (and the benchmarks) stay truthful as
+    kernel coverage grows.  Exact-type semantics carry over: a name
+    that builds a subclass with overridden hooks is not covered.
+    """
+    names = []
+    for name in available_policies():
+        if type(policy_spec(name).build()) in _KERNEL_OF_TYPE:
+            names.append(name)
+    return tuple(sorted(names))
+
 
 #: Registry base names covered by the fast engine (each also accepts
 #: ``+ucd`` and, for DRRIP, any RRPV width — coverage is by class).
-FAST_POLICIES = ("belady", "drrip", "drrip4", "lru", "nru", "srrip")
+FAST_POLICIES = _covered_registry_names()
 
 
 def kernel_kind(instance: ReplacementPolicy) -> Optional[str]:

@@ -16,6 +16,7 @@ from typing import Iterable, Optional
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import LLCStats
 from repro.config import LLCConfig
+from repro.core.gspc_base import ProbabilisticStreamPolicy
 from repro.core.registry import PolicyLike, resolve_policy
 from repro.core.rrip import RRIPPolicy
 from repro.errors import SimulationError
@@ -47,12 +48,16 @@ def fast_simulate_trace(
         )
     geometry = CacheGeometry.from_config(llc_config or LLCConfig())
     kernel = kernel_for(kind)
-    params = kernel_params(instance, geometry.num_sets)
+    params = kernel_params(instance, geometry)
 
     setup_started = time.perf_counter()
     with spans.span("setup"):
         decoded = decode_trace(
-            trace, geometry, uncached, needs_future=instance.needs_future
+            trace,
+            geometry,
+            uncached,
+            needs_future=instance.needs_future,
+            needs_bank=isinstance(instance, ProbabilisticStreamPolicy),
         )
     setup_seconds = time.perf_counter() - setup_started
 
@@ -65,6 +70,8 @@ def fast_simulate_trace(
             decoded.sclasses,
             decoded.writes,
             decoded.next_uses,
+            decoded.banks,
+            decoded.samples,
             geometry.num_sets,
             geometry.ways,
             params,

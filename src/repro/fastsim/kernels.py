@@ -17,25 +17,32 @@ Victim-selection snippets must leave the chosen slot in ``slot``;
 They lean on C-level list primitives — ``list.index`` with bounds,
 ``min``/``max`` over a slice, slice assignment — instead of Python
 ``for`` loops, which is where most of the engine's speedup comes from
-on miss-heavy traces.  Stream-class constants are inlined: ``1`` is
-TEX, ``2`` is RT (:data:`repro.streams.StreamClass`).
+on miss-heavy traces.  Stream-class constants are inlined: ``0`` is Z,
+``1`` is TEX, ``2`` is RT (:data:`repro.streams.StreamClass`).
+
+The GSPC family (``gspztc``, ``gspztc_tse``, ``gspc``) adds per-bank
+saturating counters and a per-line epoch state array on top of the
+RRIP substrate; those kernels additionally consume the pre-decoded
+``bank`` / ``sample`` columns (see :mod:`repro.fastsim.decode`).
 """
 
 from __future__ import annotations
 
 import string
 import textwrap
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from repro.core.base import NEVER
 from repro.core.brrip import BIMODAL_PERIOD
 from repro.core.dueling import leader_roles
+from repro.core.gspc import LOW_FACTOR, MID_FACTOR
+from repro.core.gspc_base import ProbabilisticStreamPolicy
 from repro.core.rrip import RRIPPolicy
 from repro.errors import SimulationError
 
 _TEMPLATE = string.Template("""\
 def replay(blocks, bases, streams, sclasses, writes, next_uses,
-           num_sets, ways, params):
+           banks, samples, num_sets, ways, params):
     total_slots = num_sets * ways
     lookup = {}
     lookup_get = lookup.get
@@ -61,19 +68,7 @@ ${setup}
         slot = lookup_get(block)
         if slot is not None:
             hits_s[stream] += 1
-            if sclass == 1:
-                if rt[slot]:
-                    tex_inter += 1
-                    rt_cons += 1
-                    rt[slot] = False
-                else:
-                    tex_intra += 1
-            elif sclass == 2 and not rt[slot]:
-                rt[slot] = True
-                rt_prod += 1
-            if write:
-                dirty[slot] = True
-${on_hit}
+${hit_body}
             continue
         misses_s[stream] += 1
         dram_reads += 1
@@ -113,6 +108,27 @@ ${on_fill}
         "dram_writes": dram_writes,
         "fill_counts": ${fill_counts},
     }
+""")
+
+# Default hit body: the engine's inter-stream (RT-bit) bookkeeping
+# followed by the policy's ``on hit`` snippet.  A spec may instead
+# provide a full ``hit_body`` that fuses both into one stream-class
+# dispatch — the GSPC kernels do, so the hot hit path pays a single
+# branch tree instead of two sequential ones.
+_DEFAULT_HIT_BODY = string.Template("""\
+if sclass == 1:
+    if rt[slot]:
+        tex_inter += 1
+        rt_cons += 1
+        rt[slot] = False
+    else:
+        tex_intra += 1
+elif sclass == 2 and not rt[slot]:
+    rt[slot] = True
+    rt_prod += 1
+if write:
+    dirty[slot] = True
+${on_hit}
 """)
 
 # RRPVs are stored *relative* to a per-set aging offset: the effective
@@ -174,6 +190,254 @@ else:
     value = long_rrpv
 rrpv[slot] = value - age[base]
 fill_counts[sclass][value] += 1
+"""
+
+# -- GSPC family -------------------------------------------------------------
+#
+# The epoch/TSE state machine of the GSPC family (gspztc, gspztc+tse,
+# gspc) compiles to the same flat shape as the baselines: one per-line
+# ``pstate`` array holding the Figure-10 block state (0 = E0, 1 = E1,
+# 2 = E>=2, 3 = RT), the relative-RRPV array of the RRIP substrate, and
+# one flat saturating-counter list per (counter, bank).  Probabilistic
+# insertion is a threshold compare against the live sampled counters —
+# ``FILL > t * HIT`` — exactly the reference's ``_low_reuse``, so the
+# replay stays deterministic and byte-identical.  Sample-set accesses
+# additionally drive the per-bank ACC tick that halves every counter on
+# saturation.  These kernels consume two extra per-access inputs,
+# ``bank`` and ``sample``, pre-decoded from the set index.
+
+
+def _inc(counter: str) -> str:
+    """Saturating increment of one per-bank counter (``_inc``)."""
+    return (
+        f"if {counter}[bank] < counter_max:\n"
+        f"    {counter}[bank] += 1"
+    )
+
+
+def _tick(counters: Tuple[str, ...]) -> str:
+    """One sample-set ACC tick: halve every counter on saturation."""
+    halves = "\n".join(f"    {name}[bank] >>= 1" for name in counters)
+    return (
+        "if acc[bank] >= acc_max:\n"
+        f"{halves}\n"
+        "    acc[bank] = 0\n"
+        "else:\n"
+        "    acc[bank] += 1"
+    )
+
+
+def _gspc_setup(counters: Tuple[str, ...]) -> str:
+    lines = [
+        _RRIP_SETUP.rstrip(),
+        't = params["t"]',
+        'counter_max = params["counter_max"]',
+        'acc_max = params["acc_max"]',
+        'acc = [0] * params["banks"]',
+        "pstate = [0] * total_slots",
+    ]
+    lines.extend(f'{name} = [0] * params["banks"]' for name in counters)
+    return "\n".join(lines)
+
+
+_GSPZTC_COUNTERS = ("fill_z", "hit_z", "fill_tex", "hit_tex")
+
+# Fused hit bodies: the engine's TEX/RT inter-stream bookkeeping and
+# the policy's transitions dispatch on ``sclass`` once.  The class
+# branches are mutually exclusive, so dispatch order is free to favor
+# the cheap bookkeeping-free OTHER class; *within* each class the
+# order matches the reference hooks exactly (tick before counter
+# increments, counter reads before state updates).
+_GSPZTC_HIT_BODY = f"""\
+if sclass == 3:
+    if write:
+        dirty[slot] = True
+    if sample:
+{textwrap.indent(_tick(_GSPZTC_COUNTERS), "        ")}
+    rrpv[slot] = -age[base]
+elif sclass == 1:
+    if rt[slot]:
+        tex_inter += 1
+        rt_cons += 1
+        rt[slot] = False
+    else:
+        tex_intra += 1
+    if write:
+        dirty[slot] = True
+    if sample:
+{textwrap.indent(_tick(_GSPZTC_COUNTERS), "        ")}
+        if pstate[slot] == 3:
+{textwrap.indent(_inc("fill_tex"), "            ")}
+        else:
+{textwrap.indent(_inc("hit_tex"), "            ")}
+    if pstate[slot] == 3:
+        pstate[slot] = 0
+    rrpv[slot] = -age[base]
+elif sclass == 2:
+    if not rt[slot]:
+        rt[slot] = True
+        rt_prod += 1
+    if write:
+        dirty[slot] = True
+    if sample:
+{textwrap.indent(_tick(_GSPZTC_COUNTERS), "        ")}
+    pstate[slot] = 3
+    rrpv[slot] = -age[base]
+else:
+    if write:
+        dirty[slot] = True
+    if sample:
+{textwrap.indent(_tick(_GSPZTC_COUNTERS), "        ")}
+{textwrap.indent(_inc("hit_z"), "        ")}
+    rrpv[slot] = -age[base]
+"""
+
+_GSPZTC_ON_FILL = f"""\
+pstate[slot] = 3 if sclass == 2 else 0
+if sample:
+{textwrap.indent(_tick(_GSPZTC_COUNTERS), "    ")}
+    if sclass == 0:
+{textwrap.indent(_inc("fill_z"), "        ")}
+    elif sclass == 1:
+{textwrap.indent(_inc("fill_tex"), "        ")}
+    value = long_rrpv
+elif sclass == 0:
+    value = max_rrpv if fill_z[bank] > t * hit_z[bank] else long_rrpv
+elif sclass == 1:
+    value = max_rrpv if fill_tex[bank] > t * hit_tex[bank] else 0
+elif sclass == 2:
+    value = 0
+else:
+    value = long_rrpv
+rrpv[slot] = value - age[base]
+fill_counts[sclass][value] += 1
+"""
+
+_TSE_COUNTERS = ("fill_z", "hit_z", "fill_e0", "hit_e0", "fill_e1", "hit_e1")
+_GSPC_COUNTERS = _TSE_COUNTERS + ("prod", "cons")
+
+
+def _tse_hit_body(counters: Tuple[str, ...], rt_consumed: str = "") -> str:
+    """Shared GSPZTC+TSE fused hit body; ``rt_consumed`` is GSPC's
+    extra CONS count on an RT -> TEX consumption in a sample set."""
+    consumed = (
+        textwrap.indent(_inc(rt_consumed), "            ") + "\n"
+        if rt_consumed
+        else ""
+    )
+    return f"""\
+if sclass == 3:
+    if write:
+        dirty[slot] = True
+    if sample:
+{textwrap.indent(_tick(counters), "        ")}
+    rrpv[slot] = -age[base]
+elif sclass == 1:
+    if rt[slot]:
+        tex_inter += 1
+        rt_cons += 1
+        rt[slot] = False
+    else:
+        tex_intra += 1
+    if write:
+        dirty[slot] = True
+    current = pstate[slot]
+    if sample:
+{textwrap.indent(_tick(counters), "        ")}
+        if current == 3:
+{textwrap.indent(_inc("fill_e0"), "            ")}
+{consumed}\
+            pstate[slot] = 0
+        elif current == 0:
+{textwrap.indent(_inc("hit_e0"), "            ")}
+{textwrap.indent(_inc("fill_e1"), "            ")}
+            pstate[slot] = 1
+        elif current == 1:
+{textwrap.indent(_inc("hit_e1"), "            ")}
+            pstate[slot] = 2
+        else:
+            pstate[slot] = 2
+        rrpv[slot] = -age[base]
+    elif current == 3:
+        rrpv[slot] = (
+            max_rrpv if fill_e0[bank] > t * hit_e0[bank] else 0
+        ) - age[base]
+        pstate[slot] = 0
+    elif current == 0:
+        rrpv[slot] = (
+            max_rrpv if fill_e1[bank] > t * hit_e1[bank] else 0
+        ) - age[base]
+        pstate[slot] = 1
+    else:
+        rrpv[slot] = -age[base]
+        pstate[slot] = 2
+elif sclass == 2:
+    if not rt[slot]:
+        rt[slot] = True
+        rt_prod += 1
+    if write:
+        dirty[slot] = True
+    if sample:
+{textwrap.indent(_tick(counters), "        ")}
+    pstate[slot] = 3
+    rrpv[slot] = -age[base]
+else:
+    if write:
+        dirty[slot] = True
+    if sample:
+{textwrap.indent(_tick(counters), "        ")}
+{textwrap.indent(_inc("hit_z"), "        ")}
+    rrpv[slot] = -age[base]
+"""
+
+
+def _tse_on_fill(
+    counters: Tuple[str, ...], rt_value: str, rt_produced: str = ""
+) -> str:
+    """Shared GSPZTC+TSE fill insertion; ``rt_value`` is the RT-fill
+    RRPV snippet (static 0, or GSPC's PROD/CONS thresholds) and
+    ``rt_produced`` is GSPC's PROD count on a sample-set RT fill."""
+    produced = (
+        "    elif sclass == 2:\n"
+        + textwrap.indent(_inc(rt_produced), "        ")
+        + "\n"
+        if rt_produced
+        else ""
+    )
+    return f"""\
+pstate[slot] = 3 if sclass == 2 else 0
+if sample:
+{textwrap.indent(_tick(counters), "    ")}
+    if sclass == 0:
+{textwrap.indent(_inc("fill_z"), "        ")}
+    elif sclass == 1:
+{textwrap.indent(_inc("fill_e0"), "        ")}
+{produced}\
+    value = long_rrpv
+elif sclass == 0:
+    value = max_rrpv if fill_z[bank] > t * hit_z[bank] else long_rrpv
+elif sclass == 1:
+    value = max_rrpv if fill_e0[bank] > t * hit_e0[bank] else 0
+elif sclass == 2:
+{textwrap.indent(rt_value, "    ")}
+else:
+    value = long_rrpv
+rrpv[slot] = value - age[base]
+fill_counts[sclass][value] += 1
+"""
+
+
+# Table 5's dynamic render-target protection: the sampled CONS/PROD
+# ratio picks distant (< 1/16), long (< 1/8), or maximal protection.
+_GSPC_RT_VALUE = f"""\
+prod_b = prod[bank]
+cons_b = cons[bank]
+if prod_b > {LOW_FACTOR} * cons_b:
+    value = max_rrpv
+elif prod_b > {MID_FACTOR} * cons_b:
+    value = long_rrpv
+else:
+    value = 0
 """
 
 _SPECS: Dict[str, Dict[str, object]] = {
@@ -239,6 +503,32 @@ slot = base + seg.index(max(seg))
         "on_fill": "next_slot[slot] = next_use",
         "needs_future": True,
     },
+    "gspztc": {
+        "setup": _gspc_setup(_GSPZTC_COUNTERS),
+        "hit_body": _GSPZTC_HIT_BODY,
+        "select_victim": _RRIP_VICTIM,
+        "on_fill": _GSPZTC_ON_FILL,
+        "fill_counts": True,
+        "needs_bank": True,
+    },
+    "gspztc_tse": {
+        "setup": _gspc_setup(_TSE_COUNTERS),
+        "hit_body": _tse_hit_body(_TSE_COUNTERS),
+        "select_victim": _RRIP_VICTIM,
+        "on_fill": _tse_on_fill(_TSE_COUNTERS, "value = 0"),
+        "fill_counts": True,
+        "needs_bank": True,
+    },
+    "gspc": {
+        "setup": _gspc_setup(_GSPC_COUNTERS),
+        "hit_body": _tse_hit_body(_GSPC_COUNTERS, rt_consumed="cons"),
+        "select_victim": _RRIP_VICTIM,
+        "on_fill": _tse_on_fill(
+            _GSPC_COUNTERS, _GSPC_RT_VALUE, rt_produced="prod"
+        ),
+        "fill_counts": True,
+        "needs_bank": True,
+    },
 }
 
 _COMPILED: Dict[str, Callable] = {}
@@ -255,9 +545,15 @@ def kernel_source(kind: str) -> str:
     if spec.get("needs_future"):
         loop_vars += ", next_use"
         loop_srcs += ", next_uses"
+    if spec.get("needs_bank"):
+        loop_vars += ", bank, sample"
+        loop_srcs += ", banks, samples"
+    hit_body = spec.get("hit_body")
+    if hit_body is None:
+        hit_body = _DEFAULT_HIT_BODY.substitute(on_hit=str(spec["on_hit"]).rstrip())
     return _TEMPLATE.substitute(
         setup=textwrap.indent(str(spec["setup"]).rstrip(), " " * 4),
-        on_hit=textwrap.indent(str(spec["on_hit"]).rstrip(), " " * 12),
+        hit_body=textwrap.indent(str(hit_body).rstrip(), " " * 12),
         select_victim=textwrap.indent(
             str(spec["select_victim"]).rstrip(), " " * 12
         ),
@@ -282,14 +578,22 @@ def kernel_for(kind: str) -> Callable:
     return kernel
 
 
-def kernel_params(instance, num_sets: int) -> Dict[str, object]:
+def kernel_params(instance, geometry) -> Dict[str, object]:
     """Per-run parameters a kernel reads from its policy instance."""
+    if isinstance(instance, ProbabilisticStreamPolicy):
+        return {
+            "max_rrpv": instance.max_rrpv,
+            "t": instance.t,
+            "counter_max": instance.counter_max,
+            "acc_max": instance.acc_max,
+            "banks": geometry.banks,
+        }
     if isinstance(instance, RRIPPolicy):
         params: Dict[str, object] = {"max_rrpv": instance.max_rrpv}
         if hasattr(instance, "psel_bits"):  # DRRIP set-dueling state
             params.update(
                 roles=leader_roles(
-                    num_sets, target_leaders=instance.target_leaders
+                    geometry.num_sets, target_leaders=instance.target_leaders
                 ),
                 psel_max=(1 << instance.psel_bits) - 1,
                 psel_midpoint=1 << (instance.psel_bits - 1),

@@ -1,0 +1,150 @@
+"""Binary columnar trace format (``.gsct``): zero-copy load via memmap.
+
+The compressed ``.npz`` archives in :mod:`repro.trace.io` pay a full
+inflate-and-copy on every load, which dominates setup time once the
+replay loop itself is fast.  The ``.gsct`` layout stores the three trace
+columns as raw little-endian arrays at 64-byte-aligned offsets behind a
+tiny JSON header, so :func:`load_columnar` can hand ``np.memmap`` views
+straight to :class:`~repro.trace.record.Trace` — the kernel pages the
+file in lazily and nothing is decompressed or copied.  Both engines
+consume the same views: ``Trace`` keeps contiguous same-dtype arrays as
+is, so the fast engine's vectorized decode and the reference engine's
+replay read one shared format.
+
+File layout::
+
+    bytes 0..3    magic  b"GSCT"
+    bytes 4..7    format version   (uint32, little-endian)
+    bytes 8..11   JSON header size (uint32, little-endian)
+    bytes 12..    JSON header: {"count", "meta", "columns": {name:
+                  {"dtype", "offset"}}} — offsets are absolute and
+                  64-byte aligned
+    ...           raw column payloads, in header order
+
+Writes are atomic (process-unique temp file + ``os.replace``), matching
+the ``.npz`` writer, so concurrent cache fills never expose a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.record import Trace
+
+MAGIC = b"GSCT"
+FORMAT_VERSION = 1
+ALIGNMENT = 64
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Column name -> stored dtype.  ``writes`` travels as ``uint8`` —
+#: portable, and reinterpreted as ``bool`` on load without a copy.
+_COLUMNS = (("addresses", "<u8"), ("streams", "u1"), ("writes", "u1"))
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def save_columnar(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` in the ``.gsct`` columnar layout."""
+    base = os.fspath(path)
+    directory = os.path.dirname(base)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+
+    count = len(trace)
+    arrays = {
+        "addresses": np.ascontiguousarray(trace.addresses, dtype="<u8"),
+        "streams": np.ascontiguousarray(trace.streams, dtype="u1"),
+        "writes": np.ascontiguousarray(trace.writes, dtype="u1"),
+    }
+    # The header length feeds back into the first column offset; padding
+    # the JSON to the alignment boundary keeps the layout single-pass.
+    columns = {}
+    offset = 0  # patched after the header size is known
+    header = {"count": count, "meta": dict(trace.meta), "columns": columns}
+    for name, dtype in _COLUMNS:
+        columns[name] = {"dtype": dtype, "offset": 0}
+    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    while True:  # re-place until the offsets' digit width stabilizes
+        offset = _aligned(12 + len(encoded))
+        for name, dtype in _COLUMNS:
+            columns[name]["offset"] = offset
+            offset = _aligned(offset + arrays[name].nbytes)
+        refreshed = json.dumps(header, sort_keys=True).encode("utf-8")
+        if len(refreshed) == len(encoded):
+            encoded = refreshed
+            break
+        encoded = refreshed
+
+    tmp = f"{base}.tmp-{os.getpid()}.gsct"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(
+                np.array([FORMAT_VERSION, len(encoded)], dtype="<u4").tobytes()
+            )
+            handle.write(encoded)
+            for name, _ in _COLUMNS:
+                handle.seek(columns[name]["offset"])
+                handle.write(arrays[name].tobytes())
+        os.replace(tmp, base)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def load_columnar(path: PathLike, mmap: bool = True) -> Trace:
+    """Load a ``.gsct`` trace; ``mmap=True`` maps columns zero-copy."""
+    base = os.fspath(path)
+    try:
+        with open(base, "rb") as handle:
+            preamble = handle.read(12)
+            if len(preamble) < 12 or preamble[:4] != MAGIC:
+                raise TraceError(f"not a columnar trace (bad magic): {base}")
+            version, header_len = np.frombuffer(preamble[4:], dtype="<u4")
+            if int(version) != FORMAT_VERSION:
+                raise TraceError(
+                    f"columnar trace version {int(version)} unsupported "
+                    f"(expected {FORMAT_VERSION}): {base}"
+                )
+            raw = handle.read(int(header_len))
+            if len(raw) != int(header_len):
+                raise TraceError(f"truncated columnar header: {base}")
+            header = json.loads(raw.decode("utf-8"))
+        count = int(header["count"])
+        size = os.path.getsize(base)
+        views = {}
+        for name, dtype in _COLUMNS:
+            column = header["columns"][name]
+            offset = int(column["offset"])
+            nbytes = count * np.dtype(dtype).itemsize
+            if nbytes == 0:  # zero-length mappings are not a thing
+                views[name] = np.empty(0, dtype=dtype)
+                continue
+            if offset + nbytes > size:
+                raise TraceError(f"truncated column {name!r}: {base}")
+            if mmap:
+                views[name] = np.memmap(
+                    base, dtype=dtype, mode="r", offset=offset, shape=(count,)
+                )
+            else:
+                with open(base, "rb") as handle:
+                    handle.seek(offset)
+                    views[name] = np.frombuffer(
+                        handle.read(nbytes), dtype=dtype
+                    )
+        return Trace(
+            views["addresses"],
+            views["streams"],
+            views["writes"].view(np.bool_),
+            header.get("meta", {}),
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        raise TraceError(f"cannot load columnar trace from {base}: {exc}") from exc

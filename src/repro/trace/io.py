@@ -1,9 +1,16 @@
 """Trace persistence.
 
-Traces are stored as compressed ``.npz`` archives holding the three packed
-arrays plus a JSON metadata blob.  The format is versioned so that stale
-cache files from older library versions are rejected instead of silently
-misread.
+Two formats share this front door, dispatched on the file extension:
+
+* ``.npz`` (default) — compressed archives holding the three packed
+  arrays plus a JSON metadata blob; smallest on disk.
+* ``.gsct`` — the binary columnar layout of
+  :mod:`repro.trace.columnar`; raw aligned arrays loaded zero-copy via
+  ``np.memmap``, so repeat loads (the frame-trace cache) skip the
+  inflate-and-copy entirely.
+
+Both formats are versioned so that stale cache files from older library
+versions are rejected instead of silently misread.
 """
 
 from __future__ import annotations
@@ -25,12 +32,19 @@ PathLike = Union[str, "os.PathLike[str]"]
 def save_trace(trace: Trace, path: PathLike) -> None:
     """Write ``trace`` to ``path`` (creating parent directories).
 
-    The write is atomic: the archive is serialized into a process-unique
-    temporary file in the same directory and then renamed over ``path``,
-    so concurrent readers (and concurrent writers racing on the same
-    cache key) never observe a partially written trace.
+    A ``.gsct`` path selects the columnar format; anything else writes
+    the compressed ``.npz`` archive.  Either way the write is atomic:
+    the file is serialized into a process-unique temporary in the same
+    directory and then renamed over ``path``, so concurrent readers
+    (and concurrent writers racing on the same cache key) never observe
+    a partially written trace.
     """
     base = os.fspath(path)
+    if base.endswith(".gsct"):
+        from repro.trace.columnar import save_columnar
+
+        save_columnar(trace, base)
+        return
     directory = os.path.dirname(base)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -57,7 +71,15 @@ def save_trace(trace: Trace, path: PathLike) -> None:
 
 
 def load_trace(path: PathLike) -> Trace:
-    """Load a trace previously written by :func:`save_trace`."""
+    """Load a trace previously written by :func:`save_trace`.
+
+    ``.gsct`` paths memmap the columns zero-copy; others inflate the
+    ``.npz`` archive.
+    """
+    if os.fspath(path).endswith(".gsct"):
+        from repro.trace.columnar import load_columnar
+
+        return load_columnar(path)
     try:
         with np.load(path) as archive:
             version = int(archive["version"])

@@ -74,6 +74,30 @@ def test_fast_engine_matches_reference_with_uncached_streams(policy):
     assert _fingerprint(fast) == _fingerprint(reference)
 
 
+_GSPC_GEOMETRIES = (
+    LLCConfig(params=CacheParams(2 * KB, ways=2), banks=1, sample_period=4),
+    LLCConfig(params=CacheParams(4 * KB, ways=4), banks=2, sample_period=4),
+    LLCConfig(params=CacheParams(8 * KB, ways=4), banks=4, sample_period=8),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    entries=small_traces,
+    policy=st.sampled_from(("gspc", "gspztc", "gspztc+tse")),
+    geometry=st.sampled_from(_GSPC_GEOMETRIES),
+    ucd=st.booleans(),
+)
+def test_gspc_family_matches_reference(entries, policy, geometry, ucd):
+    """Epoch/TSE state machine and PROD/CONS protection survive the
+    kernel specialization across stream mixes, geometries, and ucd."""
+    trace = _trace_from(entries)
+    name = policy + "+ucd" if ucd else policy
+    reference = simulate_trace(trace, name, geometry, engine="reference")
+    fast = simulate_trace(trace, name, geometry, engine="fast")
+    assert _fingerprint(fast) == _fingerprint(reference)
+
+
 def test_fast_engine_matches_reference_on_rt_tex_pattern():
     """RT->TEX consumption counters survive the kernel specialization."""
     trace = synth.producer_consumer(24, 4, consume_fraction=0.8)
@@ -100,13 +124,25 @@ def test_engines_tuple_and_coverage():
     for policy in FAST_POLICIES:
         assert supports_policy(policy)
         assert supports_policy(policy + "+ucd")
-    for policy in ("gspc", "gspc+ucd", "ship-mem", "gs-drrip", "gspztc"):
+    for policy in ("gspc", "gspc+ucd", "gspztc", "gspztc+tse"):
+        assert supports_policy(policy)
+    for policy in ("gspc+bypass", "ship-mem", "gs-drrip", "brrip", "dip"):
         assert not supports_policy(policy)
 
 
+def test_fast_policies_derived_from_registry():
+    """The covered list tracks the registry, not a hand-written tuple."""
+    from repro.core.registry import available_policies
+
+    assert set(FAST_POLICIES) <= set(available_policies())
+    assert "gspc" in FAST_POLICIES
+    assert "gspc+bypass" not in FAST_POLICIES
+
+
 def test_choose_engine_auto_falls_back_for_uncovered_policy():
-    assert choose_engine("auto", "gspc") == "reference"
+    assert choose_engine("auto", "gspc+bypass") == "reference"
     assert choose_engine("auto", "drrip") == "fast"
+    assert choose_engine("auto", "gspc") == "fast"
 
 
 def test_choose_engine_auto_falls_back_under_observer():
@@ -125,8 +161,27 @@ def test_choose_engine_rejects_unknown_engine():
 
 
 def test_choose_engine_fast_rejects_uncovered_policy():
-    with pytest.raises(SimulationError, match="not covered"):
-        choose_engine("fast", "gspc")
+    with pytest.raises(SimulationError) as excinfo:
+        choose_engine("fast", "gspc+bypass")
+    message = str(excinfo.value)
+    assert "not covered" in message
+    # The message enumerates the covered policies dynamically.
+    for name in FAST_POLICIES:
+        assert name in message
+
+
+def test_gspc_subclass_with_overridden_hooks_takes_reference_path():
+    """Exact-type dispatch: a subclass's hook overrides must run."""
+    from repro.core.gspc import GSPCPolicy
+
+    class TweakedGSPC(GSPCPolicy):
+        def on_hit(self, ctx):  # pragma: no cover - never simulated
+            super().on_hit(ctx)
+
+    assert supports_policy(GSPCPolicy())
+    assert not supports_policy(TweakedGSPC())
+    assert choose_engine("auto", TweakedGSPC()) == "reference"
+    assert not supports_policy("gspc+bypass")  # registry-named subclass
 
 
 def test_choose_engine_fast_rejects_observer():
@@ -137,7 +192,7 @@ def test_choose_engine_fast_rejects_observer():
 def test_fast_simulate_trace_rejects_uncovered_policy():
     trace = synth.cyclic_scan(8, 1)
     with pytest.raises(SimulationError, match="no fast kernel"):
-        fast_simulate_trace(trace, "gspc", TINY)
+        fast_simulate_trace(trace, "gspc+bypass", TINY)
 
 
 def test_simulate_trace_unknown_engine_raises():
@@ -150,7 +205,16 @@ def test_simulate_trace_unknown_engine_raises():
 
 
 def test_kernel_source_is_compilable_python():
-    for kind in ("nru", "lru", "srrip", "drrip", "belady"):
+    for kind in (
+        "nru",
+        "lru",
+        "srrip",
+        "drrip",
+        "belady",
+        "gspztc",
+        "gspztc_tse",
+        "gspc",
+    ):
         source = kernel_source(kind)
         assert source.startswith("def replay(")
         compile(source, f"<{kind}>", "exec")

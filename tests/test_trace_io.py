@@ -66,3 +66,120 @@ def test_empty_trace_round_trip(tmp_path):
     path = tmp_path / "empty.npz"
     save_trace(trace, path)
     assert len(load_trace(path)) == 0
+
+
+# -- columnar (.gsct) format ---------------------------------------------------
+
+
+def test_columnar_round_trip(tmp_path):
+    from repro.trace.columnar import load_columnar, save_columnar
+
+    trace = _sample_trace()
+    path = tmp_path / "trace.gsct"
+    save_columnar(trace, path)
+    loaded = load_columnar(path)
+    assert np.array_equal(loaded.addresses, trace.addresses)
+    assert np.array_equal(loaded.streams, trace.streams)
+    assert np.array_equal(loaded.writes, trace.writes)
+    assert loaded.meta == trace.meta
+
+
+def _backing_memmap(array):
+    """The memmap at the end of ``array``'s view chain, or None."""
+    while array is not None:
+        if isinstance(array, np.memmap):
+            return array
+        array = array.base
+    return None
+
+
+def test_columnar_load_is_memmapped(tmp_path):
+    from repro.trace.columnar import ALIGNMENT, save_columnar, load_columnar
+
+    trace = _sample_trace()
+    path = tmp_path / "trace.gsct"
+    save_columnar(trace, path)
+    loaded = load_columnar(path)
+    for column in (loaded.addresses, loaded.streams, loaded.writes):
+        mapped = _backing_memmap(column)
+        assert mapped is not None  # zero-copy: no inflate, no array copy
+        # Columns land on the aligned offsets the header promises.
+        assert mapped.offset % ALIGNMENT == 0
+
+
+def test_columnar_load_without_mmap(tmp_path):
+    from repro.trace.columnar import load_columnar, save_columnar
+
+    trace = _sample_trace()
+    path = tmp_path / "trace.gsct"
+    save_columnar(trace, path)
+    loaded = load_columnar(path, mmap=False)
+    assert not isinstance(loaded.addresses, np.memmap)
+    assert np.array_equal(loaded.addresses, trace.addresses)
+
+
+def test_columnar_rejects_bad_magic(tmp_path):
+    from repro.trace.columnar import load_columnar
+
+    path = tmp_path / "bad.gsct"
+    path.write_bytes(b"NOPE" + b"\x00" * 64)
+    with pytest.raises(TraceError, match="magic"):
+        load_columnar(path)
+
+
+def test_columnar_rejects_wrong_version(tmp_path):
+    from repro.trace.columnar import load_columnar, save_columnar
+
+    path = tmp_path / "v999.gsct"
+    save_columnar(_sample_trace(), path)
+    blob = bytearray(path.read_bytes())
+    blob[4:8] = np.array([999], dtype="<u4").tobytes()
+    path.write_bytes(bytes(blob))
+    with pytest.raises(TraceError, match="version"):
+        load_columnar(path)
+
+
+def test_columnar_rejects_truncated_file(tmp_path):
+    from repro.trace.columnar import load_columnar, save_columnar
+
+    path = tmp_path / "cut.gsct"
+    save_columnar(_sample_trace(), path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(TraceError):
+        load_columnar(path)
+
+
+def test_columnar_empty_trace_round_trip(tmp_path):
+    from repro.trace.columnar import load_columnar, save_columnar
+
+    path = tmp_path / "empty.gsct"
+    save_columnar(TraceBuilder({"name": "empty"}).build(), path)
+    assert len(load_columnar(path)) == 0
+
+
+def test_save_load_trace_dispatch_on_gsct_extension(tmp_path):
+    trace = _sample_trace()
+    path = tmp_path / "trace.gsct"
+    save_trace(trace, path)
+    assert path.read_bytes()[:4] == b"GSCT"
+    loaded = load_trace(path)
+    assert _backing_memmap(loaded.addresses) is not None
+    assert np.array_equal(loaded.addresses, trace.addresses)
+    assert loaded.meta == trace.meta
+
+
+def test_columnar_trace_replays_identically(tmp_path):
+    """A memmapped trace drives both engines like the in-memory one."""
+    from repro.config import KB, CacheParams, LLCConfig
+    from repro.sim.offline import simulate_trace
+
+    trace = _sample_trace()
+    path = tmp_path / "trace.gsct"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    llc = LLCConfig(params=CacheParams(2 * KB, ways=2), banks=1, sample_period=4)
+    for engine in ("reference", "fast"):
+        memory = simulate_trace(trace, "gspc", llc, engine=engine)
+        mapped = simulate_trace(loaded, "gspc", llc, engine=engine)
+        assert memory.stats.snapshot() == mapped.stats.snapshot()
