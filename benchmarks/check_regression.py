@@ -26,6 +26,17 @@ that fraction is held to the same limit.
 BENCH_fastsim.json`` gates the fast-engine replay throughput (see
 ``bench_fastsim.py``) per workload and policy under the same
 ``--threshold`` drop rule, printing the speedup delta table either way.
+
+``--serve-report BENCH_serve_ci.json --serve-baseline
+BENCH_serve.json`` gates the ``gspc-serve`` load benchmark (see
+``bench_serve.py``): request throughput may not drop, and p99 latency
+may not rise, by more than ``--threshold``.  ``--serve-only`` skips
+the main throughput gate, mirroring ``--sweep-only``.
+
+Mode flags are validated strictly: combinations that would silently
+skip a requested gate (``--update`` alongside any report flag,
+``--sweep-only``/``--serve-only`` alongside a gate they don't run)
+are usage errors, exit code 2.
 """
 
 import argparse
@@ -179,6 +190,106 @@ def check_fastsim(report_path: str, baseline_path: str, threshold: float) -> lis
     return failures
 
 
+def check_serve(report_path: str, baseline_path: str, threshold: float) -> list:
+    """Failure messages for the gspc-serve load gate.
+
+    Throughput is better-higher, p99 latency better-lower; each is held
+    to the same fractional limit.  p50 prints for the log but never
+    gates — median latency on a shared runner is too noisy to block on.
+    """
+    with open(report_path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = []
+    print(f"{'metric':16s} {'baseline':>14s} {'current':>14s} "
+          f"{'delta':>8s}  status")
+    # (key, better, gated, format) — "delta" is always (now-base)/base;
+    # the sign that fails depends on which direction is better.
+    metrics = (
+        ("throughput_rps", "higher", True, "{:,.0f}"),
+        ("p99_seconds", "lower", True, "{:.4f}"),
+        ("p50_seconds", "lower", False, "{:.4f}"),
+    )
+    for key, better, gated, fmt in metrics:
+        base = baseline.get(key)
+        now = report.get(key)
+        for path, value in ((baseline_path, base), (report_path, now)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SystemExit(f"error: {path} has no numeric {key}")
+        delta = (now - base) / base if base else 0.0
+        regressed = delta < -threshold if better == "higher" else delta > threshold
+        status = "info" if not gated else ("FAIL" if regressed else "ok")
+        print(f"{key:16s} {fmt.format(base):>14s} {fmt.format(now):>14s} "
+              f"{delta:>+8.1%}  {status}")
+        if gated and regressed:
+            worse = "below" if better == "higher" else "above"
+            failures.append(
+                f"serve {key}: {fmt.format(now)} is {abs(delta):.1%} {worse} "
+                f"baseline {fmt.format(base)} (limit {threshold:.0%})"
+            )
+    return failures
+
+
+def validate_modes(parser, args) -> None:
+    """Reject flag combinations that would silently skip a gate.
+
+    Historically ``--update`` and ``--sweep-only`` simply ignored any
+    other report flag on the command line — a CI edit could believe it
+    was gating something it never ran.  Every such combination is now a
+    usage error (argparse ``error()``, exit code 2).
+    """
+    exclusive = [
+        flag
+        for flag, enabled in (
+            ("--update", args.update),
+            ("--sweep-only", args.sweep_only),
+            ("--serve-only", args.serve_only),
+        )
+        if enabled
+    ]
+    if len(exclusive) > 1:
+        parser.error(" and ".join(exclusive) + " are mutually exclusive")
+    if args.sweep_only and not args.sweep_report:
+        parser.error("--sweep-only requires --sweep-report")
+    if args.serve_only and not args.serve_report:
+        parser.error("--serve-only requires --serve-report")
+    ignored = []
+    if args.update:
+        ignored = [
+            flag
+            for flag, value in (
+                ("--sweep-report", args.sweep_report),
+                ("--fastsim-report", args.fastsim_report),
+                ("--serve-report", args.serve_report),
+            )
+            if value
+        ]
+    elif args.sweep_only:
+        ignored = [
+            flag
+            for flag, value in (
+                ("--fastsim-report", args.fastsim_report),
+                ("--serve-report", args.serve_report),
+            )
+            if value
+        ]
+    elif args.serve_only:
+        ignored = [
+            flag
+            for flag, value in (
+                ("--sweep-report", args.sweep_report),
+                ("--fastsim-report", args.fastsim_report),
+            )
+            if value
+        ]
+    if ignored:
+        parser.error(
+            f"{exclusive[0]} would silently skip {', '.join(ignored)}; "
+            "run them in a separate invocation"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail CI when benchmark throughput regresses."
@@ -227,16 +338,41 @@ def main(argv=None) -> int:
         default="BENCH_fastsim.json",
         help="committed fast-engine baseline (default BENCH_fastsim.json)",
     )
+    parser.add_argument(
+        "--serve-report",
+        metavar="PATH",
+        help="also gate a fresh bench_serve.py report",
+    )
+    parser.add_argument(
+        "--serve-baseline",
+        metavar="PATH",
+        default="BENCH_serve.json",
+        help="committed serve-load baseline (default BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--serve-only",
+        action="store_true",
+        help="skip the throughput gate; check only --serve-report",
+    )
     args = parser.parse_args(argv)
+    validate_modes(parser, args)
 
     if args.sweep_only:
-        if not args.sweep_report:
-            parser.error("--sweep-only requires --sweep-report")
         failures = check_sweep_overhead(args.sweep_report, args.sweep_overhead_limit)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if not failures:
             print("sweep orchestration overhead within limit")
+        return 1 if failures else 0
+
+    if args.serve_only:
+        failures = check_serve(
+            args.serve_report, args.serve_baseline, args.threshold
+        )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if not failures:
+            print(f"serve load within {args.threshold:.0%} of baseline")
         return 1 if failures else 0
 
     current = load_throughput(args.report)
@@ -260,6 +396,11 @@ def main(argv=None) -> int:
             check_fastsim(
                 args.fastsim_report, args.fastsim_baseline, args.threshold
             )
+        )
+    if args.serve_report:
+        print()
+        failures.extend(
+            check_serve(args.serve_report, args.serve_baseline, args.threshold)
         )
     if failures:
         print()

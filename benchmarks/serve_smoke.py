@@ -1,0 +1,171 @@
+"""CI smoke harness for gspc-serve (the serve-smoke job).
+
+Two phases, each runnable locally against a scratch directory::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py phase1 --dir smoke
+    PYTHONPATH=src python benchmarks/serve_smoke.py phase2 --dir smoke
+
+``phase1`` starts a server, submits the same spec twice *concurrently*,
+and proves the duplicate coalesced onto one computation; it then runs
+the identical spec through a direct ``gspc-sweep`` and diffs the served
+CSV byte-for-byte.  The server is left running (its pid on disk).
+
+``phase2`` kills that server with SIGKILL — no shutdown hook gets to
+run — restarts on the same store, and proves the result is served from
+the content-addressed store with *zero* computations and the same
+bytes, then shuts down gracefully so the run manifest gets written.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+SPEC = {
+    "name": "smoke",
+    "policies": ["drrip", "gspc+ucd"],
+    "apps": ["DMC"],
+    "scale": 0.0625,
+}
+
+
+def start_server(base_dir: str, log_name: str, metrics_out=None):
+    """Start gspc-serve on an ephemeral port; returns (process, client)."""
+    from repro.serve.client import ServeClient, read_port_file
+
+    port_file = os.path.join(base_dir, "serve.port")
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    argv = [
+        sys.executable, "-m", "repro.serve",
+        "--store", os.path.join(base_dir, "store"),
+        "--port", "0",
+        "--port-file", port_file,
+        "--cache-dir", os.path.join(base_dir, "cache"),
+    ]
+    if metrics_out:
+        argv += ["--metrics-out", metrics_out]
+    log = open(os.path.join(base_dir, log_name), "w", encoding="utf-8")
+    process = subprocess.Popen(argv, stdout=log, stderr=log)
+    deadline = time.time() + 30
+    while not os.path.exists(port_file):
+        if time.time() > deadline:
+            raise SystemExit("error: gspc-serve never wrote its port file")
+        time.sleep(0.05)
+    client = ServeClient(read_port_file(port_file))
+    client.wait_until_up()
+    return process, client
+
+
+def phase1(base_dir: str) -> int:
+    os.makedirs(base_dir, exist_ok=True)
+    server, client = start_server(base_dir, "serve.log")
+    with open(os.path.join(base_dir, "server.pid"), "w") as handle:
+        handle.write(str(server.pid))
+
+    entries = [None, None]
+
+    def submit(index):
+        entries[index] = client.submit(SPEC)
+
+    threads = [
+        threading.Thread(target=submit, args=(i,)) for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    keys = {entry["key"] for entry in entries}
+    assert len(keys) == 1, f"duplicate submissions got distinct keys: {keys}"
+    key = keys.pop()
+    client.wait(key, timeout=600)
+    stats = client.stats()
+    assert stats["submitted"] == 2, stats
+    assert stats["computed"] == 1, f"expected exactly one computation: {stats}"
+    assert stats["coalesced"] + stats["cache_hits"] == 1, stats
+    again = client.submit(SPEC)
+    assert again["status"] == "done", again
+    assert client.stats()["cache_hits"] >= 1
+    served_csv = client.result(key)["results_csv"]
+    with open(os.path.join(base_dir, "served.csv"), "w") as handle:
+        handle.write(served_csv)
+    print(f"phase1: computed once for key {key[:16]}..., "
+          f"{stats['coalesced']} coalesced")
+
+    # Byte-identity against a direct gspc-sweep run of the same spec.
+    spec_path = os.path.join(base_dir, "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(SPEC, handle)
+    direct_dir = os.path.join(base_dir, "direct")
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.sweep",
+            "--spec", spec_path,
+            "--out", direct_dir,
+            "--cache-dir", os.path.join(base_dir, "cache"),
+        ],
+        check=True,
+    )
+    with open(os.path.join(direct_dir, "results.csv"), encoding="utf-8") as f:
+        direct_csv = f.read()
+    assert served_csv == direct_csv, (
+        "served results_csv differs from a direct gspc-sweep run"
+    )
+    print("phase1: served CSV is byte-identical to gspc-sweep "
+          f"({len(direct_csv)} bytes); server left running")
+    return 0
+
+
+def phase2(base_dir: str, metrics_out=None) -> int:
+    with open(os.path.join(base_dir, "server.pid")) as handle:
+        pid = int(handle.read().strip())
+    os.kill(pid, signal.SIGKILL)
+    # Reap if it was our child (local single-process runs); in CI the
+    # phases are separate steps and the runner's init reaps it.
+    try:
+        os.waitpid(pid, 0)
+    except ChildProcessError:
+        pass
+
+    metrics_out = metrics_out or os.path.join(base_dir, "manifests")
+    server, client = start_server(base_dir, "serve2.log", metrics_out)
+    entry = client.submit(SPEC)
+    assert entry["status"] == "done" and entry["cached"], (
+        f"restart did not serve from the store: {entry}"
+    )
+    stats = client.stats()
+    assert stats["computed"] == 0, f"restart recomputed: {stats}"
+    assert stats["cache_hits"] >= 1, stats
+    served = client.result(entry["key"])["results_csv"]
+    with open(os.path.join(base_dir, "served.csv"), encoding="utf-8") as f:
+        assert served == f.read(), "restart served different bytes"
+    client.shutdown()
+    assert server.wait(timeout=30) == 0, "graceful shutdown exited non-zero"
+    print("phase2: kill -9 + restart served from the store, "
+          "zero computations, same bytes")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gspc-serve crash/coalesce smoke harness."
+    )
+    parser.add_argument("phase", choices=["phase1", "phase2"])
+    parser.add_argument(
+        "--dir", default="serve-smoke", help="scratch directory"
+    )
+    parser.add_argument(
+        "--metrics-out", help="manifest dir for the phase2 server"
+    )
+    args = parser.parse_args(argv)
+    if args.phase == "phase1":
+        return phase1(args.dir)
+    return phase2(args.dir, args.metrics_out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

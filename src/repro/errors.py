@@ -56,7 +56,17 @@ class ParallelError(ReproError):
     result)."""
 
 
+class WALError(ReproError):
+    """A write-ahead log file could not be read (I/O failure — torn or
+    corrupt *records* are rejected during replay, never raised)."""
+
+
 class SweepError(ReproError):
     """A sweep specification, journal, fault spec, or retry policy is
     invalid, or a sweep worker shipped back an unusable result payload
     (missing file, corrupt JSON, checksum mismatch)."""
+
+
+class ServeError(ReproError):
+    """The simulation service was misconfigured, a submitted job spec is
+    invalid, or a service-side computation failed permanently."""

@@ -21,6 +21,10 @@ Three manifest kinds share one envelope (``schema_version``, ``kind``,
   per-job deterministic result payloads in ``metrics`` and per-job
   attempt bookkeeping in ``jobs`` (kept out of ``metrics`` so
   crash/resume-equivalence diffs compare results, not retry history).
+* ``serve`` — one ``gspc-serve`` process life (:func:`serve_manifest`):
+  request/cache/coalescing counters in ``serve`` and the service's
+  metrics-registry snapshot (latency histogram included) in
+  ``metrics``.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ KIND_KEYS = {
     "frame-timing": ("policy", "trace", "metrics"),
     "experiment": ("experiment", "metrics"),
     "sweep": ("sweep", "metrics", "jobs"),
+    "serve": ("serve", "metrics"),
 }
 
 
@@ -221,6 +226,27 @@ def sweep_manifest(
     return manifest
 
 
+def serve_manifest(
+    config,
+    serve: Mapping[str, object],
+    metrics: Mapping[str, object],
+    wall_seconds: float = 0.0,
+) -> Dict[str, object]:
+    """Manifest for one :mod:`repro.serve` process life.
+
+    ``serve`` is the service's stats view (request, cache-hit,
+    coalescing and computation counters plus store stats); ``metrics``
+    is its metrics-registry snapshot, request-latency histogram
+    included.
+    """
+    manifest = _envelope("serve", config, _phases(0.0, wall_seconds))
+    manifest.update(
+        serve=_jsonable(dict(serve)),
+        metrics=_jsonable(dict(metrics)),
+    )
+    return manifest
+
+
 # -- I/O ---------------------------------------------------------------------
 
 def manifest_filename(manifest: Mapping[str, object]) -> str:
@@ -312,6 +338,8 @@ def validate_manifest(manifest: Mapping[str, object]) -> List[str]:
                 problems.append(f"events summary missing {key!r}")
     if kind == "sweep":
         problems.extend(_validate_sweep(manifest))
+    if kind == "serve":
+        problems.extend(_validate_serve(manifest))
     if "parallel" in manifest:
         problems.extend(_validate_parallel(manifest["parallel"]))
     engine = manifest.get("engine")
@@ -362,6 +390,32 @@ def _validate_sweep(manifest: Mapping[str, object]) -> List[str]:
     metrics = manifest.get("metrics")
     if metrics is not None and not isinstance(metrics, Mapping):
         problems.append("sweep 'metrics' must be an object of job payloads")
+    return problems
+
+
+#: Integer counters the ``serve`` summary section must carry.
+SERVE_KEYS = (
+    "requests", "submitted", "cache_hits", "coalesced", "computed", "failed"
+)
+
+
+def _validate_serve(manifest: Mapping[str, object]) -> List[str]:
+    problems: List[str] = []
+    serve = manifest.get("serve")
+    if not isinstance(serve, Mapping):
+        problems.append(
+            f"'serve' must be an object, got {type(serve).__name__}"
+        )
+    else:
+        for key in SERVE_KEYS:
+            value = serve.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(
+                    f"serve.{key} must be an integer, got {value!r}"
+                )
+    metrics = manifest.get("metrics")
+    if metrics is not None and not isinstance(metrics, Mapping):
+        problems.append("serve 'metrics' must be an object")
     return problems
 
 

@@ -1,0 +1,23 @@
+"""Persistent simulation service (``gspc-serve``).
+
+An async HTTP/JSON front end over the sweep engine with a
+content-addressed result store: every distinct (spec, engine, code
+version) is computed at most once — concurrent duplicates coalesce onto
+one in-flight computation, repeats are served from the crash-safe
+store.  See ``docs/serving.md``.
+"""
+
+from repro.serve.client import ServeClient, read_port_file
+from repro.serve.service import JobEntry, SimulationService, compute_sweep
+from repro.serve.store import ResultStore, code_version, result_key
+
+__all__ = [
+    "JobEntry",
+    "ResultStore",
+    "ServeClient",
+    "SimulationService",
+    "code_version",
+    "compute_sweep",
+    "read_port_file",
+    "result_key",
+]

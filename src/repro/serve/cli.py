@@ -1,0 +1,237 @@
+"""gspc-serve — persistent simulation service with a memoized store.
+
+Serve sweep computations over HTTP/JSON: clients submit declarative
+sweep specs (the same JSON ``gspc-sweep --spec`` accepts), the service
+computes each distinct (spec, engine, code version) exactly once on a
+bounded worker pool, and every finished result is memoized in a
+crash-safe content-addressed store — identical submissions, concurrent
+or days apart, are served from cache.  Kill the process at any instant
+and a restart recovers the store from its write-ahead log and resumes
+interrupted computations from their journals.
+
+Examples::
+
+    gspc-serve --store results/store
+    gspc-serve --store /var/lib/gspc --host 0.0.0.0 --port 8787 \\
+        --pool 4 --sweep-jobs 2
+    gspc-serve --store store --port 0 --port-file serve.port  # tests/CI
+
+Exit codes (docs/observability.md): 0 clean shutdown, 1 runtime
+failure, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+import threading
+from typing import List, Optional
+
+from repro.cli import EXIT_OK, EXIT_RUNTIME, EXIT_USAGE, ensure_directory
+from repro.errors import ReproError
+from repro.obs import log as obs_log
+from repro.obs import tracing
+from repro.obs.manifest import serve_manifest, write_manifest
+from repro.obs.tracing import TraceContext
+from repro.serve.http import start_http_server
+from repro.serve.service import SimulationService
+from repro.serve.store import ResultStore
+from repro.wal import write_atomic
+
+#: Scratch directory for in-flight computations, inside the store root.
+SCRATCH_DIRNAME = "scratch"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gspc-serve",
+        description="Serve memoized sweep simulations over HTTP/JSON.",
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="content-addressed result store directory (created if missing)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 = ephemeral; default 8787)",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="FILE",
+        help="write the bound host:port here once listening "
+        "(for --port 0 callers)",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent sweep computations (default 2)",
+    )
+    parser.add_argument(
+        "--sweep-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep computation (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        metavar="DIR",
+        help="shared trace cache (default: .repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the trace cache"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        help="write a 'serve' run manifest into DIR on shutdown",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="logging level (default: $REPRO_LOG_LEVEL or WARNING)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug logging (shorthand for --log-level DEBUG)",
+    )
+    return parser
+
+
+async def run_server(
+    args: argparse.Namespace, ctx: TraceContext, logger
+) -> SimulationService:
+    """Start the store + service + HTTP server and run until shutdown."""
+    store = ResultStore(args.store)
+    recovery = store.recover()
+    service = SimulationService(
+        store,
+        scratch_dir=os.path.join(args.store, SCRATCH_DIRNAME),
+        cache_dir=None if args.no_cache else args.cache_dir,
+        pool_size=args.pool,
+        sweep_workers=args.sweep_jobs,
+        ctx=ctx,
+    )
+    server, port = await start_http_server(service, args.host, args.port)
+    if args.port_file:
+        write_atomic(args.port_file, f"{args.host}:{port}\n")
+    print(
+        f"gspc-serve {ctx.run_id} listening on {args.host}:{port} "
+        f"(store {args.store}: {recovery.keys} cached result(s)"
+        + (f", {recovery.healed} healed" if recovery.healed else "")
+        + (
+            f", {recovery.rejected_lines} corrupt WAL line(s) rejected"
+            if recovery.rejected_lines
+            else ""
+        )
+        + f"; pool {args.pool} x {args.sweep_jobs} worker(s))"
+    )
+    logger.info(
+        "run %s listening on %s:%d (%d cached results)",
+        ctx.run_id,
+        args.host,
+        port,
+        recovery.keys,
+    )
+
+    loop = asyncio.get_running_loop()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.stop_event.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    try:
+        await service.stop_event.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.close()
+    print(
+        f"gspc-serve {ctx.run_id} stopped: "
+        f"{service.requests.snapshot()} request(s), "
+        f"{service.computed.snapshot()} computed, "
+        f"{service.cache_hits.snapshot()} cache hit(s), "
+        f"{service.coalesced.snapshot()} coalesced"
+    )
+    return service
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        obs_log.configure("DEBUG" if args.verbose else args.log_level)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    logger = obs_log.get_logger("serve")
+    try:
+        if args.pool < 1:
+            raise ReproError(f"--pool must be >= 1, got {args.pool}")
+        if args.sweep_jobs < 1:
+            raise ReproError(
+                f"--sweep-jobs must be >= 1, got {args.sweep_jobs}"
+            )
+        if not (0 <= args.port <= 65535):
+            raise ReproError(f"--port must be in [0, 65535], got {args.port}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    problem = ensure_directory(args.store, "--store")
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.metrics_out:
+        problem = ensure_directory(args.metrics_out, "--metrics-out")
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return EXIT_USAGE
+
+    ctx = tracing.activate(TraceContext.new_run("gspc-serve"))
+    try:
+        try:
+            service = asyncio.run(run_server(args, ctx, logger))
+        except KeyboardInterrupt:  # bare ^C before the handler is armed
+            print("interrupted", file=sys.stderr)
+            return EXIT_OK
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
+
+    if args.metrics_out:
+        manifest = serve_manifest(
+            config={
+                "store": args.store,
+                "host": args.host,
+                "pool": args.pool,
+                "sweep_jobs": args.sweep_jobs,
+            },
+            serve=service.stats(),
+            metrics=service.registry.snapshot(),
+            wall_seconds=service.stats()["uptime_seconds"],
+        )
+        path = write_manifest(
+            manifest, args.metrics_out, filename=f"serve_{ctx.run_id}.json"
+        )
+        print(f"wrote manifest: {path}")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Tiny stdlib client for the gspc-serve API.
+
+Used by the test-suite, the CI serve-smoke gate, and the load-test
+harness (``benchmarks/bench_serve.py``) — one connection per request,
+JSON in, JSON out, no dependencies beyond :mod:`http.client`.
+
+    client = ServeClient("127.0.0.1:8787")
+    entry = client.submit({"name": "s", "policies": ["drrip"]})
+    entry = client.wait(entry["key"])
+    result = client.result(entry["key"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServeError
+
+
+def read_port_file(path: str) -> str:
+    """The ``host:port`` a server wrote via ``--port-file``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            address = handle.read().strip()
+    except OSError as exc:
+        raise ServeError(f"cannot read port file {path}: {exc}") from exc
+    if not address:
+        raise ServeError(f"port file {path} is empty")
+    return address
+
+
+class ServeClient:
+    """Blocking JSON client for one gspc-serve endpoint."""
+
+    def __init__(self, address: str, timeout: float = 60.0):
+        address = address.strip()
+        for prefix in ("http://", "https://"):
+            if address.startswith(prefix):
+                address = address[len(prefix):]
+        address = address.rstrip("/")
+        host, sep, port_text = address.rpartition(":")
+        if not sep:
+            raise ServeError(
+                f"serve address must be host:port, got {address!r}"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ServeError(f"bad port in serve address {address!r}") from None
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        """One round trip; returns (HTTP status, decoded JSON payload)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            encoded = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            try:
+                connection.request(method, path, body=encoded, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"request {method} {path} to "
+                    f"{self.host}:{self.port} failed: {exc}"
+                ) from exc
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServeError(
+                    f"non-JSON response for {method} {path}: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise ServeError(
+                    f"unexpected response shape for {method} {path}: "
+                    f"{type(payload).__name__}"
+                )
+            return response.status, payload
+        finally:
+            connection.close()
+
+    # -- API calls ------------------------------------------------------------
+
+    def health(self) -> bool:
+        try:
+            status, payload = self.request("GET", "/v1/healthz")
+        except ServeError:
+            return False
+        return status == 200 and bool(payload.get("ok"))
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        status, payload = self.request("POST", "/v1/jobs", {"spec": spec})
+        if status not in (200, 202):
+            raise ServeError(
+                f"submit rejected ({status}): {payload.get('error', payload)}"
+            )
+        return payload
+
+    def status(self, key: str) -> Dict[str, object]:
+        status, payload = self.request("GET", f"/v1/jobs/{key}")
+        if status != 200:
+            raise ServeError(
+                f"status for {key} failed ({status}): "
+                f"{payload.get('error', payload)}"
+            )
+        return payload
+
+    def result(self, key: str) -> Dict[str, object]:
+        status, payload = self.request("GET", f"/v1/jobs/{key}/result")
+        if status != 200:
+            raise ServeError(
+                f"result for {key} unavailable ({status}): "
+                f"{payload.get('error', payload)}"
+            )
+        return payload
+
+    def stats(self) -> Dict[str, object]:
+        status, payload = self.request("GET", "/v1/stats")
+        if status != 200:
+            raise ServeError(f"stats failed ({status})")
+        return payload
+
+    def shutdown(self) -> None:
+        self.request("POST", "/v1/shutdown")
+
+    def wait(
+        self, key: str, timeout: float = 600.0, poll: float = 0.05
+    ) -> Dict[str, object]:
+        """Poll until ``key`` is done; raises on failure or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            entry = self.status(key)
+            state = entry.get("status")
+            if state == "done":
+                return entry
+            if state == "failed":
+                raise ServeError(
+                    f"job {key} failed: {entry.get('error', 'unknown error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out after {timeout:g}s waiting for job {key}"
+                )
+            time.sleep(poll)
+
+    def wait_until_up(self, timeout: float = 30.0, poll: float = 0.1) -> None:
+        """Block until the server answers its health probe."""
+        deadline = time.monotonic() + timeout
+        while not self.health():
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"server {self.host}:{self.port} not up "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+
+__all__ = ["ServeClient", "read_port_file"]

@@ -1,0 +1,235 @@
+"""A minimal asyncio HTTP/1.1 JSON server — no dependencies.
+
+Just enough HTTP for the service's API: request line, headers,
+``Content-Length`` body, one request per connection (``Connection:
+close``).  Bounded reads throughout, so a misbehaving client cannot
+balloon memory.  JSON in, JSON out.
+
+Routes (see :mod:`repro.serve.service` for semantics):
+
+========  =========================  ===========================================
+method    path                       meaning
+========  =========================  ===========================================
+POST      /v1/jobs                   submit a sweep spec (``{"spec": {...}}``
+                                     or the bare spec object)
+GET       /v1/jobs/<key>             job status
+GET       /v1/jobs/<key>/result      finished result payload
+GET       /v1/stats                  service counters + store stats
+GET       /v1/healthz                liveness probe
+POST      /v1/shutdown               graceful shutdown
+========  =========================  ===========================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.serve.service import SimulationService
+
+#: Upper bounds on what one request may ship.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the handful of statuses the API uses.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclasses.dataclass
+class Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        if not self.body:
+            raise ServeError("request body is empty, expected JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request:
+    """Parse one HTTP/1.1 request (raises ServeError on anything off)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        raise ServeError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ServeError("request head exceeds the size limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ServeError("request head exceeds the size limit")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServeError(f"malformed request line {lines[0]!r}")
+    method, path, _ = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ServeError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ServeError(f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ServeError(f"unacceptable Content-Length {length}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ServeError("connection closed mid-body") from exc
+    return Request(method, path, headers, body)
+
+
+def encode_response(status: int, payload: object) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def route(
+    service: SimulationService, request: Request
+) -> Tuple[int, object, str]:
+    """Dispatch one request; returns (status, payload, route label)."""
+    method, path = request.method, request.path.split("?", 1)[0]
+    if path == "/v1/healthz":
+        if method != "GET":
+            return 405, {"error": "use GET"}, "healthz"
+        return 200, {"ok": True, "run_id": service.ctx.run_id}, "healthz"
+    if path == "/v1/stats":
+        if method != "GET":
+            return 405, {"error": "use GET"}, "stats"
+        return 200, service.stats(), "stats"
+    if path == "/v1/shutdown":
+        if method != "POST":
+            return 405, {"error": "use POST"}, "shutdown"
+        service.stop_event.set()
+        return 200, {"ok": True, "stopping": True}, "shutdown"
+    if path == "/v1/jobs":
+        if method != "POST":
+            return 405, {"error": "use POST"}, "submit"
+        data = request.json()
+        spec = data.get("spec", data) if isinstance(data, dict) else data
+        entry = service.submit(spec)
+        status = 200 if entry.status == "done" else 202
+        return status, entry.view(), "submit"
+    if path.startswith("/v1/jobs/"):
+        rest = path[len("/v1/jobs/"):]
+        key, _, tail = rest.partition("/")
+        if tail == "" and method == "GET":
+            entry = service.status(key)
+            if entry is None:
+                return 404, {"error": f"unknown job {key!r}"}, "status"
+            return 200, entry.view(), "status"
+        if tail == "result" and method == "GET":
+            entry = service.status(key)
+            if entry is None:
+                return 404, {"error": f"unknown job {key!r}"}, "result"
+            if entry.status == "failed":
+                return 409, entry.view(), "result"
+            payload = service.result(key)
+            if payload is None:
+                return 409, entry.view(), "result"
+            return 200, payload, "result"
+        return 404, {"error": f"no route for {method} {path}"}, "unknown"
+    return 404, {"error": f"no route for {method} {path}"}, "unknown"
+
+
+async def handle_connection(
+    service: SimulationService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    started = time.perf_counter()
+    label = "bad-request"
+    try:
+        try:
+            request = await read_request(reader)
+        except ServeError as exc:
+            writer.write(encode_response(400, {"error": str(exc)}))
+        else:
+            try:
+                status, payload, label = route(service, request)
+            except ServeError as exc:
+                status, payload, label = 400, {"error": str(exc)}, "error"
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload, label = (
+                    500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                    "error",
+                )
+            writer.write(encode_response(status, payload))
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        service.observe_request(label, time.perf_counter() - started)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_http_server(
+    service: SimulationService, host: str, port: int
+) -> Tuple[asyncio.AbstractServer, int]:
+    """Bind and start serving; returns (server, bound port)."""
+
+    async def handler(reader, writer):
+        await handle_connection(service, reader, writer)
+
+    try:
+        server = await asyncio.start_server(
+            handler, host, port, limit=MAX_HEADER_BYTES
+        )
+    except OSError as exc:
+        raise ServeError(f"cannot bind {host}:{port}: {exc}") from exc
+    bound: Optional[int] = None
+    for sock in server.sockets:
+        bound = sock.getsockname()[1]
+        break
+    if bound is None:  # pragma: no cover - start_server always binds
+        raise ServeError(f"no socket bound for {host}:{port}")
+    return server, bound
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "Request",
+    "encode_response",
+    "handle_connection",
+    "read_request",
+    "route",
+    "start_http_server",
+]

@@ -1,0 +1,283 @@
+"""Content-addressed result store for the simulation service.
+
+The store memoizes finished sweep results under a deterministic cache
+*key*: the SHA-256 of the canonical JSON of ``(spec, engine, code
+version)``.  Identical submissions — today, tomorrow, or from another
+process — hash to the same key, so the service never computes the same
+work twice (the same never-refetch-what-you-hold rule the paper applies
+to the LLC itself).
+
+Layout under the store root, sharded by key prefix so concurrent
+writers touch disjoint files::
+
+    store/
+      objects/<key[:w]>/<key>.json   # one finished result, atomic write
+      wal/<key[:w]>.jsonl            # checksummed write-ahead log shard
+
+Every :meth:`ResultStore.put` appends a sealed record to the shard WAL
+*first* (open-append-fsync-close, safe for concurrent writer processes)
+and only then publishes the object file via atomic tmp+fsync+rename.
+The WAL is therefore always at least as complete as the object tree:
+
+* a reader never observes a torn object (rename is atomic);
+* a crash between the WAL append and the object write is healed on the
+  next :meth:`get` or :meth:`recover` by replaying the shard WAL;
+* two writers racing on one key produce two valid WAL records and two
+  atomic renames — replay takes the first record, readers of the object
+  file see exactly one writer's payload, never an interleaving.
+
+This is the sweep journal's durability recipe (:mod:`repro.wal`)
+generalized from per-attempt job records to content-addressed results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro import wal
+from repro.errors import ServeError
+
+#: Default shard width: two hex chars, 256 shards.
+DEFAULT_SHARD_WIDTH = 2
+
+#: Statuses a store WAL record may carry (only finished results today;
+#: the enum leaves room for tombstones without a version bump).
+RECORD_STATUSES = ("ok",)
+
+
+def result_key(
+    spec: Mapping[str, object], engine: str, code_version: str
+) -> str:
+    """The content address of one (spec, engine, code version) result."""
+    if not isinstance(spec, Mapping):
+        raise ServeError(
+            f"result key needs a spec object, got {type(spec).__name__}"
+        )
+    return wal.checksum(
+        {
+            "spec": dict(spec),
+            "engine": str(engine),
+            "code_version": str(code_version),
+        }
+    )
+
+
+def code_version() -> str:
+    """The code identity baked into every cache key.
+
+    Defaults to the package version; ``REPRO_CODE_VERSION`` overrides it
+    so deployments tracking unreleased commits can fence their cache
+    (e.g. export the git SHA) without touching the package metadata.
+    """
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    from repro import __version__
+
+    return __version__
+
+
+def verify(data: object) -> Optional[Dict[str, object]]:
+    """The store record inside a parsed WAL line, or None if invalid."""
+    body = wal.verify_sealed(data)
+    if body is None:
+        return None
+    key = body.get("key")
+    if not isinstance(key, str) or not _is_hex_key(key):
+        return None
+    if body.get("status") not in RECORD_STATUSES:
+        return None
+    if not isinstance(body.get("payload"), dict):
+        return None
+    return body
+
+
+def _is_hex_key(key: str) -> bool:
+    return len(key) == 64 and all(c in "0123456789abcdef" for c in key)
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """What :meth:`ResultStore.recover` found and fixed."""
+
+    #: Keys with a valid WAL record (the store's authoritative contents).
+    keys: int = 0
+    #: Object files rewritten from the WAL (missing or corrupt).
+    healed: int = 0
+    #: WAL lines dropped as torn/corrupt/checksum-mismatched.
+    rejected_lines: int = 0
+
+
+class ResultStore:
+    """Durable, sharded, content-addressed result cache."""
+
+    def __init__(self, root: str, shard_width: int = DEFAULT_SHARD_WIDTH):
+        if not (0 <= shard_width <= 8):
+            raise ServeError(
+                f"shard width must be in [0, 8], got {shard_width}"
+            )
+        self.root = root
+        self.shard_width = shard_width
+        try:
+            os.makedirs(self.objects_dir, exist_ok=True)
+            os.makedirs(self.wal_dir, exist_ok=True)
+        except OSError as exc:
+            raise ServeError(
+                f"cannot create store directories under {root!r}: {exc}"
+            ) from exc
+
+    @property
+    def objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    @property
+    def wal_dir(self) -> str:
+        return os.path.join(self.root, "wal")
+
+    def _shard(self, key: str) -> str:
+        return key[: self.shard_width] or "all"
+
+    def object_path(self, key: str) -> str:
+        self._check_key(key)
+        return os.path.join(self.objects_dir, self._shard(key), f"{key}.json")
+
+    def wal_path(self, key: str) -> str:
+        self._check_key(key)
+        return os.path.join(self.wal_dir, f"{self._shard(key)}.jsonl")
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not isinstance(key, str) or not _is_hex_key(key):
+            raise ServeError(f"malformed store key {key!r}")
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or None.
+
+        Reads the object file (atomic rename means it is whole or
+        absent); a missing or corrupt object falls back to the shard
+        WAL, and a WAL hit heals the object file on the way out — so a
+        crash between WAL append and object publish self-repairs on the
+        first read after restart.
+        """
+        payload = self._read_object(key)
+        if payload is not None:
+            return payload
+        record = self._wal_record(key)
+        if record is None:
+            return None
+        payload = dict(record["payload"])  # type: ignore[arg-type]
+        self._write_object(key, payload)
+        return payload
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def _read_object(self, key: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(self.object_path(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _wal_record(self, key: str) -> Optional[Dict[str, object]]:
+        """First valid WAL record for ``key`` (first writer wins)."""
+        state = wal.replay(self.wal_path(key), validator=verify)
+        for record in state.records:
+            if record["key"] == key:
+                return record
+        return None
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, payload: Mapping[str, object]) -> None:
+        """Durably store ``payload`` under ``key`` (WAL first, then object)."""
+        self._check_key(key)
+        if not isinstance(payload, Mapping):
+            raise ServeError(
+                f"store payload must be an object, got {type(payload).__name__}"
+            )
+        record = {
+            "v": wal.RECORD_VERSION,
+            "key": key,
+            "status": "ok",
+            "payload": dict(payload),
+        }
+        wal.append_once(self.wal_path(key), record)
+        self._write_object(key, dict(payload))
+
+    def _write_object(self, key: str, payload: Dict[str, object]) -> None:
+        wal.write_atomic(
+            self.object_path(key),
+            wal.canonical_json(payload) + "\n",
+        )
+
+    # -- maintenance ----------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """Every key with a valid WAL record, in shard + WAL order."""
+        seen = set()
+        for shard_path in self._wal_shards():
+            state = wal.replay(shard_path, validator=verify)
+            for record in state.records:
+                key = str(record["key"])
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def recover(self) -> RecoveryReport:
+        """Replay every WAL shard and heal missing/corrupt objects.
+
+        Run at service start so a ``kill -9`` at any instant leaves at
+        worst one result to recompute (the one whose WAL record never
+        finished), never a torn store.
+        """
+        report = RecoveryReport()
+        winners: Dict[str, Dict[str, object]] = {}
+        for shard_path in self._wal_shards():
+            state = wal.replay(shard_path, validator=verify)
+            report.rejected_lines += state.rejected_lines
+            for record in state.records:
+                winners.setdefault(str(record["key"]), record)
+        report.keys = len(winners)
+        for key, record in winners.items():
+            if self._read_object(key) is None:
+                self._write_object(
+                    key, dict(record["payload"])  # type: ignore[arg-type]
+                )
+                report.healed += 1
+        return report
+
+    def stats(self) -> Dict[str, int]:
+        """Cheap counters for the service's /v1/stats endpoint."""
+        objects = 0
+        for _, _, files in os.walk(self.objects_dir):
+            objects += sum(1 for name in files if name.endswith(".json"))
+        shards = sum(1 for _ in self._wal_shards())
+        return {"objects": objects, "wal_shards": shards}
+
+    def _wal_shards(self) -> Iterator[str]:
+        try:
+            names = sorted(os.listdir(self.wal_dir))
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".jsonl"):
+                yield os.path.join(self.wal_dir, name)
+
+
+__all__ = [
+    "DEFAULT_SHARD_WIDTH",
+    "RecoveryReport",
+    "ResultStore",
+    "code_version",
+    "result_key",
+    "verify",
+]

@@ -1,8 +1,9 @@
 """Crash-safe result journal for sweep runs.
 
-The journal is an append-only JSONL file: one self-checksummed record
-per job attempt, flushed and fsync'd as soon as it is written, so a
-sweep killed at any instant loses at most the attempt that was in
+The journal is one instance of the generic checksummed write-ahead log
+(:mod:`repro.wal`): an append-only JSONL file, one self-checksummed
+record per job attempt, flushed and fsync'd as soon as it is written,
+so a sweep killed at any instant loses at most the attempt that was in
 flight.  :func:`replay` reconstructs the run state from whatever made
 it to disk — a torn final line, a corrupted record, or a checksum
 mismatch is *rejected* (counted, never trusted), which means the
@@ -24,52 +25,38 @@ property the hypothesis resume test pins down.
 
 Everything else the sweep writes (result payload handoff files, the
 final CSV, the failure report, the persisted spec) goes through
-:func:`write_atomic`: serialize into a process-unique temporary file in
-the destination directory, fsync, then ``os.replace`` — readers never
-observe a partial file.
+:func:`repro.wal.write_atomic` (re-exported here): serialize into a
+process-unique temporary file in the destination directory, fsync,
+then ``os.replace`` — readers never observe a partial file.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 import os
 from typing import Dict, Optional
 
-from repro.errors import SweepError
+from repro import wal
+from repro.errors import SweepError, WALError
+from repro.wal import (  # noqa: F401  (re-exported journal vocabulary)
+    RECORD_VERSION,
+    WriteAheadLog,
+    canonical_json,
+    checksum,
+    seal,
+    write_atomic,
+)
 
 #: Journal filename inside a sweep directory.
 JOURNAL_FILENAME = "journal.jsonl"
-#: Record schema version.
-RECORD_VERSION = 1
 #: Terminal attempt statuses a record may carry.
 RECORD_STATUSES = ("ok", "failed")
 
 
-def canonical_json(value: object) -> str:
-    """Deterministic JSON: sorted keys, no whitespace."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
-
-
-def checksum(value: object) -> str:
-    """SHA-256 over the canonical JSON of ``value``."""
-    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
-
-
-def seal(record: Dict[str, object]) -> str:
-    """One journal line: the record plus its self-checksum."""
-    return canonical_json({**record, "sha256": checksum(record)})
-
-
 def verify(data: object) -> Optional[Dict[str, object]]:
     """The record inside a parsed line, or None if it fails validation."""
-    if not isinstance(data, dict):
-        return None
-    body = {key: value for key, value in data.items() if key != "sha256"}
-    if data.get("sha256") != checksum(body):
-        return None
-    if body.get("v") != RECORD_VERSION:
+    body = wal.verify_sealed(data)
+    if body is None:
         return None
     if not isinstance(body.get("job"), str) or not body["job"]:
         return None
@@ -83,33 +70,11 @@ def verify(data: object) -> Optional[Dict[str, object]]:
     return body
 
 
-class Journal:
+class Journal(WriteAheadLog):
     """Append-only writer; every record hits the platter before return."""
-
-    def __init__(self, path: str):
-        self.path = path
-        self._handle = None
-
-    def append(self, record: Dict[str, object]) -> None:
-        if self._handle is None:
-            directory = os.path.dirname(self.path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(seal(record) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
 
     def __enter__(self) -> "Journal":
         return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
 
 @dataclasses.dataclass
@@ -135,27 +100,17 @@ class JournalState:
 
 def replay(path: str) -> JournalState:
     """Rebuild run state from a journal (missing file = empty state)."""
-    state = JournalState(completed={}, attempts={}, failures={})
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-    except FileNotFoundError:
-        return state
-    except OSError as exc:
+        raw = wal.replay(path, validator=verify)
+    except WALError as exc:
         raise SweepError(f"cannot read journal {path}: {exc}") from exc
-    for line in lines:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError:
-            state.rejected_lines += 1
-            continue
-        record = verify(data)
-        if record is None:
-            state.rejected_lines += 1
-            continue
+    state = JournalState(
+        completed={},
+        attempts={},
+        failures={},
+        rejected_lines=raw.rejected_lines,
+    )
+    for record in raw.records:
         job_id = str(record["job"])
         attempt = int(record["attempt"])  # type: ignore[arg-type]
         state.attempts[job_id] = max(state.attempts.get(job_id, 0), attempt)
@@ -170,20 +125,3 @@ def replay(path: str) -> JournalState:
 
 def journal_path(sweep_dir: str) -> str:
     return os.path.join(sweep_dir, JOURNAL_FILENAME)
-
-
-def write_atomic(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` via tmp + fsync + rename."""
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    tmp = f"{path}.tmp-{os.getpid()}"
-    try:
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import sys
 from typing import Dict, Optional
 
 from repro import faults
@@ -72,8 +73,26 @@ def job_payload(
     }
 
 
+def _reset_inherited_pools() -> None:
+    """Detach from any thread-pool state a fork inherited.
+
+    A child forked from a :class:`~concurrent.futures.ThreadPoolExecutor`
+    worker thread (gspc-serve's computation pool does exactly this)
+    inherits the pool's interpreter-shutdown hook and its registry of
+    worker threads — threads that no longer exist after the fork.  The
+    hook's join on those ghosts raises during child shutdown, and
+    multiprocessing's fork trampoline pre-arms ``os._exit(1)``, so the
+    attempt reports a silent crash even though the job itself succeeded.
+    Emptying the registry turns the inherited hook into a no-op.
+    """
+    pool_mod = sys.modules.get("concurrent.futures.thread")
+    if pool_mod is not None:
+        pool_mod._threads_queues.clear()
+
+
 def run_job_in_worker(payload: Dict[str, object], out_path: str) -> None:
     """Child-process entry point: run one attempt, ship the result."""
+    _reset_inherited_pools()
     inject = payload.get("inject")
     if inject in ("crash", "hang"):
         faults.fire(str(inject), float(payload["hang_seconds"]))  # type: ignore[arg-type]

@@ -1,0 +1,261 @@
+"""Unit tests for benchmarks/check_regression.py.
+
+Covers the existing throughput / sweep-overhead / fastsim gates, the
+new serve-load gate, and — the regression this file exists for — that
+flag combinations which would silently skip a requested gate are usage
+errors (exit code 2), not silent no-ops.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def write_json(path, data) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    return str(path)
+
+
+@pytest.fixture
+def throughput_pair(tmp_path):
+    baseline = write_json(
+        tmp_path / "baseline.json",
+        {"accesses_per_second": {"drrip": 1000.0, "gspc": 800.0}},
+    )
+    report = write_json(
+        tmp_path / "report.json",
+        {"accesses_per_second": {"drrip": 990.0, "gspc": 820.0}},
+    )
+    return baseline, report
+
+
+# -- existing gates -----------------------------------------------------------
+
+def test_throughput_within_threshold_passes(throughput_pair, capsys):
+    baseline, report = throughput_pair
+    assert check_regression.main(
+        ["--report", report, "--baseline", baseline]
+    ) == 0
+    assert "all policies within" in capsys.readouterr().out
+
+
+def test_throughput_drop_fails(tmp_path, throughput_pair, capsys):
+    baseline, _ = throughput_pair
+    report = write_json(
+        tmp_path / "slow.json",
+        {"accesses_per_second": {"drrip": 500.0, "gspc": 820.0}},
+    )
+    assert check_regression.main(
+        ["--report", report, "--baseline", baseline]
+    ) == 1
+    assert "below" in capsys.readouterr().err
+
+
+def test_missing_policy_fails(tmp_path, throughput_pair, capsys):
+    baseline, _ = throughput_pair
+    report = write_json(
+        tmp_path / "partial.json", {"accesses_per_second": {"drrip": 1000.0}}
+    )
+    assert check_regression.main(
+        ["--report", report, "--baseline", baseline]
+    ) == 1
+    assert "missing from report" in capsys.readouterr().err
+
+
+def test_update_rewrites_baseline(tmp_path, throughput_pair):
+    _, report = throughput_pair
+    baseline = str(tmp_path / "new-baseline.json")
+    assert check_regression.main(
+        ["--report", report, "--baseline", baseline, "--update"]
+    ) == 0
+    with open(baseline, encoding="utf-8") as handle:
+        assert json.load(handle)["accesses_per_second"]["drrip"] == 990.0
+
+
+def test_sweep_only_gates_overhead(tmp_path, capsys):
+    good = write_json(
+        tmp_path / "sweep.json",
+        {"overhead_fraction": 0.02, "bare_min": 1.0, "sweep_min": 1.02},
+    )
+    assert check_regression.main(
+        ["--sweep-only", "--sweep-report", good]
+    ) == 0
+    bad = write_json(
+        tmp_path / "sweep-bad.json",
+        {"overhead_fraction": 0.5, "bare_min": 1.0, "sweep_min": 1.5},
+    )
+    assert check_regression.main(
+        ["--sweep-only", "--sweep-report", bad]
+    ) == 1
+    assert "exceeds" in capsys.readouterr().err
+
+
+def test_sweep_tracing_overhead_gates(tmp_path, capsys):
+    report = write_json(
+        tmp_path / "sweep.json",
+        {
+            "overhead_fraction": 0.01,
+            "traced_overhead_fraction": 0.4,
+            "bare_min": 1.0,
+            "sweep_min": 1.01,
+            "traced_min": 1.41,
+        },
+    )
+    assert check_regression.main(
+        ["--sweep-only", "--sweep-report", report]
+    ) == 1
+    assert "tracing overhead" in capsys.readouterr().err
+
+
+def _fastsim_report(rate: float, speedup: float = 5.0) -> dict:
+    return {
+        "workloads": {
+            "DMC": {
+                "results": {
+                    "drrip": {
+                        "fast_accesses_per_second": rate,
+                        "speedup": speedup,
+                    }
+                }
+            }
+        }
+    }
+
+
+def test_fastsim_gate_passes_and_fails(tmp_path, throughput_pair, capsys):
+    baseline, report = throughput_pair
+    fast_base = write_json(
+        tmp_path / "fast-base.json", _fastsim_report(1000.0)
+    )
+    fast_ok = write_json(tmp_path / "fast-ok.json", _fastsim_report(950.0))
+    assert check_regression.main(
+        ["--report", report, "--baseline", baseline,
+         "--fastsim-report", fast_ok, "--fastsim-baseline", fast_base]
+    ) == 0
+    fast_bad = write_json(tmp_path / "fast-bad.json", _fastsim_report(100.0))
+    assert check_regression.main(
+        ["--report", report, "--baseline", baseline,
+         "--fastsim-report", fast_bad, "--fastsim-baseline", fast_base]
+    ) == 1
+    assert "fastsim DMC/drrip" in capsys.readouterr().err
+
+
+# -- the serve-load gate ------------------------------------------------------
+
+def _serve_report(rps: float, p99: float, p50: float = 0.002) -> dict:
+    return {"throughput_rps": rps, "p99_seconds": p99, "p50_seconds": p50}
+
+
+def test_serve_gate_passes_within_threshold(tmp_path, capsys):
+    baseline = write_json(
+        tmp_path / "serve-base.json", _serve_report(1000.0, 0.004)
+    )
+    report = write_json(
+        tmp_path / "serve-now.json", _serve_report(900.0, 0.0045)
+    )
+    assert check_regression.main(
+        ["--serve-only", "--serve-report", report,
+         "--serve-baseline", baseline]
+    ) == 0
+    assert "serve load within" in capsys.readouterr().out
+
+
+def test_serve_gate_fails_on_throughput_drop(tmp_path, capsys):
+    baseline = write_json(
+        tmp_path / "serve-base.json", _serve_report(1000.0, 0.004)
+    )
+    report = write_json(
+        tmp_path / "serve-now.json", _serve_report(500.0, 0.004)
+    )
+    assert check_regression.main(
+        ["--serve-only", "--serve-report", report,
+         "--serve-baseline", baseline]
+    ) == 1
+    assert "throughput_rps" in capsys.readouterr().err
+
+
+def test_serve_gate_fails_on_p99_rise_but_not_p50(tmp_path, capsys):
+    baseline = write_json(
+        tmp_path / "serve-base.json", _serve_report(1000.0, 0.004)
+    )
+    # p50 doubles (informational only), p99 rises past the limit.
+    report = write_json(
+        tmp_path / "serve-now.json", _serve_report(1000.0, 0.006, p50=0.004)
+    )
+    assert check_regression.main(
+        ["--serve-only", "--serve-report", report,
+         "--serve-baseline", baseline]
+    ) == 1
+    err = capsys.readouterr().err
+    assert "p99_seconds" in err and "p50_seconds" not in err
+
+
+def test_serve_gate_rejects_reports_missing_metrics(tmp_path, capsys):
+    baseline = write_json(
+        tmp_path / "serve-base.json", _serve_report(1000.0, 0.004)
+    )
+    report = write_json(tmp_path / "serve-now.json", {"p99_seconds": 0.004})
+    with pytest.raises(SystemExit, match="no numeric throughput_rps"):
+        check_regression.main(
+            ["--serve-only", "--serve-report", report,
+             "--serve-baseline", baseline]
+        )
+    capsys.readouterr()
+
+
+def test_serve_gate_composes_with_main_table(tmp_path, throughput_pair, capsys):
+    baseline, report = throughput_pair
+    serve_base = write_json(
+        tmp_path / "serve-base.json", _serve_report(1000.0, 0.004)
+    )
+    serve_now = write_json(
+        tmp_path / "serve-now.json", _serve_report(980.0, 0.004)
+    )
+    assert check_regression.main(
+        ["--report", report, "--baseline", baseline,
+         "--serve-report", serve_now, "--serve-baseline", serve_base]
+    ) == 0
+    capsys.readouterr()
+
+
+# -- strict mode validation: bad combinations exit 2 --------------------------
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["--sweep-only"],
+        ["--serve-only"],
+        ["--sweep-only", "--serve-only"],
+        ["--update", "--sweep-only"],
+        ["--update", "--sweep-report", "x.json"],
+        ["--update", "--fastsim-report", "x.json"],
+        ["--update", "--serve-report", "x.json"],
+        ["--sweep-only", "--sweep-report", "s.json",
+         "--fastsim-report", "x.json"],
+        ["--sweep-only", "--sweep-report", "s.json",
+         "--serve-report", "x.json"],
+        ["--serve-only", "--serve-report", "s.json",
+         "--sweep-report", "x.json"],
+        ["--serve-only", "--serve-report", "s.json",
+         "--fastsim-report", "x.json"],
+    ],
+)
+def test_bad_mode_combinations_exit_2(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        check_regression.main(argv)
+    assert excinfo.value.code == 2
+    capsys.readouterr()

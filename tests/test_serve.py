@@ -1,0 +1,334 @@
+"""Tests for the simulation service (repro.serve).
+
+Service-level tests inject a fake compute callable so they exercise the
+coalescing / memoization / failure state machine without running sims;
+the end-to-end test runs a real (tiny) sweep through the full HTTP
+stack and checks the served CSV is byte-identical to what a direct
+``gspc-sweep`` run of the same spec writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.manifest import serve_manifest, validate_manifest
+from repro.serve.cli import main as serve_main
+from repro.serve.http import start_http_server
+from repro.serve.service import SimulationService
+from repro.serve.store import ResultStore, code_version, result_key
+from repro.sweep.spec import SweepSpec
+
+SPEC = {
+    "name": "t",
+    "policies": ["drrip"],
+    "apps": ["DMC"],
+    "scale": 0.0625,
+    "llc_mb": [8],
+}
+
+
+def spec_key(spec_data=None) -> str:
+    spec = SweepSpec.from_dict(spec_data or SPEC)
+    return result_key(spec.to_dict(), spec.engine, code_version())
+
+
+def make_service(tmp_path, compute=None, **kwargs):
+    store = ResultStore(str(tmp_path / "store"))
+    return SimulationService(
+        store,
+        scratch_dir=str(tmp_path / "scratch"),
+        cache_dir=str(tmp_path / "cache"),
+        compute=compute,
+        **kwargs,
+    )
+
+
+def instant_compute(calls=None):
+    def compute(spec, key, trace_ctx):
+        if calls is not None:
+            calls.append(key)
+        return {"key": key, "spec": spec.to_dict(), "results_csv": "csv"}
+
+    return compute
+
+
+# -- service state machine ----------------------------------------------------
+
+def test_submit_coalesces_concurrent_duplicates(tmp_path):
+    gate = threading.Event()
+    calls = []
+
+    def slow_compute(spec, key, trace_ctx):
+        calls.append(key)
+        assert gate.wait(timeout=30)
+        return {"key": key}
+
+    async def scenario():
+        service = make_service(tmp_path, compute=slow_compute)
+        first = service.submit(SPEC)
+        await asyncio.sleep(0.05)  # let the computation start
+        second = service.submit(SPEC)
+        assert second is first
+        assert first.coalesced == 1 and first.submissions == 2
+        gate.set()
+        await service.drain()
+        assert first.status == "done"
+        stats = service.stats()
+        assert stats["computed"] == 1
+        assert stats["coalesced"] == 1
+        assert stats["submitted"] == 2
+        assert service.result(first.key) == {"key": first.key}
+        service.close()
+
+    asyncio.run(scenario())
+    assert calls == [spec_key()]
+
+
+def test_resubmit_after_done_counts_a_cache_hit(tmp_path):
+    calls = []
+
+    async def scenario():
+        service = make_service(tmp_path, compute=instant_compute(calls))
+        entry = service.submit(SPEC)
+        await service.drain()
+        assert entry.status == "done"
+        again = service.submit(SPEC)
+        assert again.status == "done"
+        assert service.stats()["cache_hits"] == 1
+        service.close()
+
+    asyncio.run(scenario())
+    assert len(calls) == 1
+
+
+def test_cache_hit_across_service_restarts(tmp_path):
+    """A second service over the same store serves without computing —
+    the in-process analogue of CI's kill -9 + restart gate."""
+
+    async def first_life():
+        service = make_service(tmp_path, compute=instant_compute())
+        service.submit(SPEC)
+        await service.drain()
+        service.close()
+
+    asyncio.run(first_life())
+
+    def never_compute(spec, key, trace_ctx):  # pragma: no cover
+        raise AssertionError("restart recomputed a stored result")
+
+    async def second_life():
+        service = make_service(tmp_path, compute=never_compute)
+        entry = service.submit(SPEC)
+        assert entry.status == "done" and entry.cached
+        assert service.stats()["cache_hits"] == 1
+        # status() also resolves keys it never saw submitted.
+        assert service.status(spec_key()).status == "done"
+        service.close()
+
+    asyncio.run(second_life())
+
+
+def test_failed_compute_marks_failed_then_retry_succeeds(tmp_path):
+    attempts = []
+
+    def flaky_compute(spec, key, trace_ctx):
+        attempts.append(key)
+        if len(attempts) == 1:
+            raise ServeError("transient failure")
+        return {"key": key}
+
+    async def scenario():
+        service = make_service(tmp_path, compute=flaky_compute)
+        entry = service.submit(SPEC)
+        await service.drain()
+        assert entry.status == "failed"
+        assert "transient failure" in entry.error
+        assert service.stats()["failed"] == 1
+        assert service.result(entry.key) is None
+        retry = service.submit(SPEC)
+        assert retry is not entry
+        await service.drain()
+        assert retry.status == "done"
+        service.close()
+
+    asyncio.run(scenario())
+    assert len(attempts) == 2
+
+
+def test_submit_rejects_invalid_spec(tmp_path):
+    async def scenario():
+        service = make_service(tmp_path, compute=instant_compute())
+        with pytest.raises(ServeError, match="invalid sweep spec"):
+            service.submit({"policies": ["no-such-policy"]})
+        service.close()
+
+    asyncio.run(scenario())
+
+
+def test_serve_manifest_round_trip(tmp_path):
+    async def scenario():
+        service = make_service(tmp_path, compute=instant_compute())
+        service.submit(SPEC)
+        await service.drain()
+        service.observe_request("submit", 0.001)
+        manifest = serve_manifest(
+            config={"store": str(tmp_path / "store")},
+            serve=service.stats(),
+            metrics=service.registry.snapshot(),
+            wall_seconds=0.1,
+        )
+        validate_manifest(manifest)
+        service.close()
+
+    asyncio.run(scenario())
+
+
+# -- HTTP API -----------------------------------------------------------------
+
+async def http(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(data)}\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head_bytes, _, body_bytes = raw.partition(b"\r\n\r\n")
+    return int(head_bytes.split(b" ")[1]), json.loads(body_bytes)
+
+
+def test_http_api_round_trip(tmp_path):
+    async def scenario():
+        service = make_service(tmp_path, compute=instant_compute())
+        server, port = await start_http_server(service, "127.0.0.1", 0)
+
+        status, body = await http(port, "GET", "/v1/healthz")
+        assert (status, body["ok"]) == (200, True)
+
+        status, entry = await http(port, "POST", "/v1/jobs", {"spec": SPEC})
+        assert status in (200, 202)
+        key = entry["key"]
+        await service.drain()
+
+        status, entry = await http(port, "GET", f"/v1/jobs/{key}")
+        assert (status, entry["status"]) == (200, "done")
+
+        status, result = await http(port, "GET", f"/v1/jobs/{key}/result")
+        assert status == 200 and result["key"] == key
+
+        status, stats = await http(port, "GET", "/v1/stats")
+        assert status == 200 and stats["computed"] == 1
+
+        status, _ = await http(port, "GET", f"/v1/jobs/{'0' * 64}")
+        assert status == 404
+        status, _ = await http(port, "GET", "/v1/nope")
+        assert status == 404
+        status, _ = await http(port, "POST", "/v1/healthz")
+        assert status == 405
+        # Bad JSON body -> 400, connection still served.
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(
+            b"POST /v1/jobs HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: 4\r\n\r\n{oop"
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        assert b" 400 " in raw.split(b"\r\n")[0]
+
+        status, body = await http(port, "POST", "/v1/shutdown")
+        assert status == 200 and service.stop_event.is_set()
+
+        assert service.requests.snapshot() >= 9
+        server.close()
+        await server.wait_closed()
+        service.close()
+
+    asyncio.run(scenario())
+
+
+# -- CLI contract -------------------------------------------------------------
+
+def test_cli_usage_errors_exit_2(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert serve_main(["--store", store, "--pool", "0"]) == 2
+    assert serve_main(["--store", store, "--sweep-jobs", "0"]) == 2
+    assert serve_main(["--store", store, "--port", "70000"]) == 2
+    with pytest.raises(SystemExit) as excinfo:
+        serve_main([])  # --store is required
+    assert excinfo.value.code == 2
+    capsys.readouterr()
+
+
+# -- the fork-from-pool-thread regression -------------------------------------
+
+def test_worker_process_forked_from_pool_thread_exits_cleanly(tmp_path):
+    """The serve pool forks sweep workers from ThreadPoolExecutor
+    threads; the forked child must not inherit the pool's shutdown hook
+    (it used to make every worker report exit code 1 — a silent crash)."""
+    from repro.sweep.spec import expand
+    from repro.sweep.worker import job_payload, result_filename, load_result
+    from repro.sweep.worker import run_job_in_worker
+
+    spec = SweepSpec.from_dict(SPEC)
+    trace_job = next(job for job in expand(spec) if job.kind == "trace")
+    payload = job_payload(trace_job, spec, str(tmp_path / "cache"))
+    out_path = str(tmp_path / result_filename(trace_job.job_id, 1))
+
+    def fork_and_join():
+        process = multiprocessing.Process(
+            target=run_job_in_worker, args=(payload, out_path), daemon=True
+        )
+        process.start()
+        process.join()
+        return process.exitcode
+
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        exitcode = pool.submit(fork_and_join).result()
+    assert exitcode == 0
+    assert load_result(out_path, trace_job.job_id)["payload"]
+
+
+# -- end to end: served result == direct gspc-sweep ---------------------------
+
+def test_served_result_matches_direct_sweep_bytes(tmp_path):
+    """Real compute through the service equals a direct gspc-sweep run
+    of the same spec, byte for byte on results.csv."""
+    from repro.sweep.cli import main as sweep_main
+
+    async def scenario():
+        service = make_service(tmp_path)  # real compute_sweep
+        entry = service.submit(SPEC)
+        await service.drain()
+        assert entry.status == "done", entry.error
+        payload = service.result(entry.key)
+        service.close()
+        return payload
+
+    payload = asyncio.run(scenario())
+    assert payload["jobs"] == {"total": 2, "sims": 1}
+
+    spec_path = str(tmp_path / "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(SPEC, handle)
+    out_dir = str(tmp_path / "direct")
+    assert sweep_main(
+        ["--spec", spec_path, "--out", out_dir,
+         "--cache-dir", str(tmp_path / "cache")]
+    ) == 0
+    with open(os.path.join(out_dir, "results.csv"), encoding="utf-8") as handle:
+        direct_csv = handle.read()
+    assert payload["results_csv"] == direct_csv

@@ -1,0 +1,237 @@
+"""Tests for the content-addressed result store (repro.serve.store).
+
+The two hypothesis properties mirror the sweep journal's crash-safety
+contract (tests/test_sweep.py): concurrent writers on one key leave
+exactly one readable winner with no torn reads, and truncating the
+store WAL at *any* byte offset recovers every fully written record and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import wal
+from repro.errors import ServeError
+from repro.serve.store import (
+    DEFAULT_SHARD_WIDTH,
+    ResultStore,
+    code_version,
+    result_key,
+    verify,
+)
+
+KEY = result_key({"name": "s"}, "auto", "v1")
+
+
+# -- keys ---------------------------------------------------------------------
+
+def test_result_key_is_deterministic_and_order_insensitive():
+    a = result_key({"name": "s", "scale": 0.5}, "auto", "v1")
+    b = result_key({"scale": 0.5, "name": "s"}, "auto", "v1")
+    assert a == b
+    assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+
+def test_result_key_separates_spec_engine_and_code_version():
+    base = result_key({"name": "s"}, "auto", "v1")
+    assert result_key({"name": "t"}, "auto", "v1") != base
+    assert result_key({"name": "s"}, "fast", "v1") != base
+    assert result_key({"name": "s"}, "auto", "v2") != base
+
+
+def test_result_key_rejects_non_mapping_spec():
+    with pytest.raises(ServeError, match="spec object"):
+        result_key(["not", "a", "spec"], "auto", "v1")
+
+
+def test_code_version_env_override(monkeypatch):
+    from repro import __version__
+
+    monkeypatch.delenv("REPRO_CODE_VERSION", raising=False)
+    assert code_version() == __version__
+    monkeypatch.setenv("REPRO_CODE_VERSION", "deadbeef")
+    assert code_version() == "deadbeef"
+
+
+# -- basic store behaviour ----------------------------------------------------
+
+def test_put_get_roundtrip(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    assert store.get(KEY) is None
+    assert KEY not in store
+    store.put(KEY, {"answer": 42})
+    assert store.get(KEY) == {"answer": 42}
+    assert KEY in store
+    assert list(store.keys()) == [KEY]
+    assert store.stats() == {"objects": 1, "wal_shards": 1}
+
+
+def test_sharding_splits_objects_and_wal_by_key_prefix(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    assert store.object_path(KEY).endswith(
+        os.path.join(KEY[:DEFAULT_SHARD_WIDTH], f"{KEY}.json")
+    )
+    assert store.wal_path(KEY).endswith(f"{KEY[:DEFAULT_SHARD_WIDTH]}.jsonl")
+    zero = ResultStore(str(tmp_path / "flat"), shard_width=0)
+    assert zero.wal_path(KEY).endswith("all.jsonl")
+
+
+def test_store_rejects_bad_keys_and_payloads(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    with pytest.raises(ServeError, match="malformed store key"):
+        store.get("not-a-key")
+    with pytest.raises(ServeError, match="malformed store key"):
+        store.put("abc", {})
+    with pytest.raises(ServeError, match="payload must be an object"):
+        store.put(KEY, "scalar")
+    with pytest.raises(ServeError, match="shard width"):
+        ResultStore(str(tmp_path / "s2"), shard_width=9)
+
+
+def test_get_heals_missing_object_from_wal(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(KEY, {"n": 1})
+    os.unlink(store.object_path(KEY))
+    assert store.get(KEY) == {"n": 1}
+    # The read healed the object file back into place.
+    assert os.path.exists(store.object_path(KEY))
+
+
+def test_get_falls_back_past_corrupt_object(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(KEY, {"n": 2})
+    with open(store.object_path(KEY), "w", encoding="utf-8") as handle:
+        handle.write('{"torn": ')
+    assert store.get(KEY) == {"n": 2}
+
+
+def test_first_wal_record_wins_on_replay(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.put(KEY, {"writer": "first"})
+    wal.append_once(
+        store.wal_path(KEY),
+        {"v": 1, "key": KEY, "status": "ok", "payload": {"writer": "second"}},
+    )
+    os.unlink(store.object_path(KEY))
+    assert store.get(KEY) == {"writer": "first"}
+
+
+def test_recover_reports_heals_and_rejections(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    other = result_key({"name": "other"}, "auto", "v1")
+    store.put(KEY, {"n": 1})
+    store.put(other, {"n": 2})
+    os.unlink(store.object_path(other))
+    with open(store.wal_path(KEY), "a", encoding="utf-8") as handle:
+        handle.write("garbage line\n")
+    report = store.recover()
+    assert report.keys == 2
+    assert report.healed == 1
+    assert report.rejected_lines == 1
+    assert store.get(other) == {"n": 2}
+
+
+def test_verify_rejects_malformed_records():
+    good = {"v": 1, "key": KEY, "status": "ok", "payload": {"n": 1}}
+    assert verify(json.loads(wal.seal(good))) == good
+    for bad in (
+        {**good, "key": "short"},
+        {**good, "status": "failed"},
+        {**good, "payload": "scalar"},
+        {**good, "v": 99},
+    ):
+        assert verify(json.loads(wal.seal(bad))) is None
+    # Checksum mismatch: sealed then tampered.
+    tampered = json.loads(wal.seal(good))
+    tampered["payload"] = {"n": 2}
+    assert verify(tampered) is None
+
+
+# -- hypothesis: concurrent writers, one winner, no torn reads ----------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payloads=st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=1000),
+            min_size=1,
+        ),
+        min_size=2,
+        max_size=4,
+        unique_by=lambda d: wal.canonical_json(d),
+    )
+)
+def test_concurrent_writers_one_winner(tmp_path_factory, payloads):
+    """N racing put()s on one key: every read sees exactly one writer's
+    payload, byte-for-byte — never an interleaving, never a torn read."""
+    tmp_path = tmp_path_factory.mktemp("race")
+    store = ResultStore(str(tmp_path / "store"))
+    barrier = threading.Barrier(len(payloads))
+
+    def writer(payload):
+        barrier.wait()
+        store.put(KEY, payload)
+
+    threads = [
+        threading.Thread(target=writer, args=(p,)) for p in payloads
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # The object file holds one complete payload (last rename wins).
+    assert store.get(KEY) in payloads
+    # The WAL holds every writer's record intact; replay picks the first.
+    state = wal.replay(store.wal_path(KEY), validator=verify)
+    assert state.rejected_lines == 0
+    assert len(state.records) == len(payloads)
+    assert all(record["payload"] in payloads for record in state.records)
+    # A cold reader (object deleted) sees the first writer, still whole.
+    os.unlink(store.object_path(KEY))
+    assert store.get(KEY) == state.records[0]["payload"]
+
+
+# -- hypothesis: WAL truncation at every byte offset --------------------------
+
+_KEYS = [result_key({"n": i}, "auto", "v1") for i in range(3)]
+_RECORDS = [
+    {"v": 1, "key": key, "status": "ok", "payload": {"n": i}}
+    for i, key in enumerate(_KEYS)
+]
+_FULL_TEXT = "".join(wal.seal(record) + "\n" for record in _RECORDS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=len(_FULL_TEXT)))
+def test_truncated_store_wal_recovers_every_whole_record(
+    tmp_path_factory, cut
+):
+    """Kill the store at any byte: recovery keeps exactly the records
+    whose final newline made it to disk, and heals their objects."""
+    tmp_path = tmp_path_factory.mktemp("trunc")
+    store = ResultStore(str(tmp_path / "store"), shard_width=0)
+    with open(store.wal_path(_KEYS[0]), "w", encoding="utf-8") as handle:
+        handle.write(_FULL_TEXT[:cut])
+    report = store.recover()
+    # A record survives iff its full sealed line made it to disk — the
+    # trailing newline itself is not load-bearing (a final complete
+    # line with the newline cut off still replays).
+    sealed = _FULL_TEXT.splitlines()
+    lines = _FULL_TEXT[:cut].split("\n")
+    survivors = sum(1 for line in lines if line in sealed)
+    partial_tail = sum(1 for line in lines if line and line not in sealed)
+    assert report.keys == survivors
+    assert report.healed == survivors
+    assert report.rejected_lines == partial_tail
+    for record in _RECORDS[:survivors]:
+        assert store.get(str(record["key"])) == record["payload"]
+    for record in _RECORDS[survivors:]:
+        assert store.get(str(record["key"])) is None
