@@ -1,0 +1,225 @@
+"""CI smoke harness for the trace-ingestion stack (the ingest-smoke job).
+
+Three phases, each runnable locally against a scratch directory::
+
+    PYTHONPATH=src python benchmarks/ingest_smoke.py contract --dir smoke
+    PYTHONPATH=src python benchmarks/ingest_smoke.py sweep --dir smoke
+    PYTHONPATH=src python benchmarks/ingest_smoke.py serve --dir smoke
+
+``contract`` exercises gspc-ingest's exit-code contract end to end: the
+committed fixture capture converts cleanly (0), a truncated copy is
+rejected as a runtime error (1), an unusable --out is a usage error
+(2), and a synthetic capture whose stream mix sits outside the paper's
+Table 1 envelope fails conformance (3) — but still writes its artifacts,
+and passes with --no-check.
+
+``sweep`` replays the ingested fixture through gspc-sweep under both
+engines and diffs the reference run byte-for-byte against the committed
+golden CSV (tests/golden/ingest_results.csv); the fast run must match
+modulo the engine column.
+
+``serve`` submits a source-bearing spec to gspc-serve and proves the
+served CSV is byte-identical to the golden file.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import time
+
+FIXTURE = os.path.join("examples", "captures", "capdemo_f0.jsonl.gz")
+GOLDEN = os.path.join("tests", "golden", "ingest_results.csv")
+
+#: The golden sweep's geometry: 1 MB differentiates every policy on the
+#: fixture frame (at 8 MB the working set fits and they all tie).
+POLICIES = [
+    "nru", "lru", "srrip", "drrip",
+    "gspztc", "gspztc+tse", "gspc", "gspc+ucd",
+]
+LLC_MB = 1
+
+
+def run_ingest(args, expect):
+    """Run gspc-ingest, asserting on its exit code."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.trace.sources.ingest"] + args,
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == expect, (
+        f"gspc-ingest {' '.join(args)}: expected exit {expect}, got "
+        f"{proc.returncode}\nstdout: {proc.stdout}\nstderr: {proc.stderr}"
+    )
+    return proc
+
+
+def contract(base_dir: str) -> int:
+    os.makedirs(base_dir, exist_ok=True)
+    replay_dir = os.path.join(base_dir, "replay")
+    manifests = os.path.join(base_dir, "manifests")
+
+    # Exit 0: the committed fixture converts and conforms.
+    run_ingest(
+        ["--capture", FIXTURE, "--out", replay_dir,
+         "--metrics-out", manifests], expect=0,
+    )
+    assert os.path.exists(os.path.join(replay_dir, "source.json"))
+    with open(os.path.join(replay_dir, "ingest.json")) as handle:
+        manifest = json.load(handle)
+    frames = manifest["frames"]
+    assert len(frames) == 1 and frames[0]["conformant"], frames
+    assert manifest["metrics"]["envelope_violations"] == 0, manifest["metrics"]
+
+    # Exit 1: a capture truncated mid-stream (header declares more
+    # accesses than the file carries) is a runtime error.
+    with gzip.open(FIXTURE, "rt", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    truncated = os.path.join(base_dir, "truncated_f0.jsonl.gz")
+    with gzip.open(truncated, "wt", encoding="utf-8") as handle:
+        handle.write("\n".join(lines[:-10]) + "\n")
+    run_ingest(
+        ["--capture", truncated, "--out", os.path.join(base_dir, "r1")],
+        expect=1,
+    )
+
+    # Exit 2: --out that collides with an existing file is a usage error.
+    blocker = os.path.join(base_dir, "not-a-dir")
+    with open(blocker, "w") as handle:
+        handle.write("x")
+    run_ingest(["--capture", FIXTURE, "--out", blocker], expect=2)
+
+    # Exit 3: a capture whose stream mix violates the Table 1 envelope
+    # (100% TEX) fails conformance — with its artifacts still written —
+    # and passes once --no-check waives the gate.
+    skew = os.path.join(base_dir, "skew_f0.jsonl")
+    with open(skew, "w", encoding="utf-8") as handle:
+        header = {"capture": "gspc-capture", "version": 1,
+                  "workload": "skew", "frame": 0, "accesses": 300}
+        handle.write(json.dumps(header) + "\n")
+        for index in range(300):
+            handle.write(json.dumps(
+                {"addr": index * 64, "stream": "tex", "write": False}
+            ) + "\n")
+    skew_out = os.path.join(base_dir, "r3")
+    proc = run_ingest(["--capture", skew, "--out", skew_out], expect=3)
+    assert "envelope=FAIL" in proc.stdout, proc.stdout
+    assert os.path.exists(os.path.join(skew_out, "source.json"))
+    assert os.path.exists(os.path.join(skew_out, "ingest.json"))
+    run_ingest(
+        ["--capture", skew, "--out", os.path.join(base_dir, "r0"),
+         "--no-check"], expect=0,
+    )
+
+    print("contract: gspc-ingest exit codes 0/1/2/3 all as documented")
+    return 0
+
+
+def sweep(base_dir: str) -> int:
+    replay_dir = os.path.join(base_dir, "replay")
+    if not os.path.exists(os.path.join(replay_dir, "source.json")):
+        run_ingest(["--capture", FIXTURE, "--out", replay_dir], expect=0)
+    csvs = {}
+    for engine in ("reference", "fast"):
+        out_dir = os.path.join(base_dir, f"sweep-{engine}")
+        subprocess.run(
+            [sys.executable, "-m", "repro.sweep",
+             "--out", out_dir,
+             "--source", f"replay:{replay_dir}",
+             "--policies", *POLICIES,
+             "--llc-mb", str(LLC_MB),
+             "--cache-dir", os.path.join(base_dir, "cache"),
+             "--engine", engine],
+            check=True, stdout=subprocess.DEVNULL,
+        )
+        with open(os.path.join(out_dir, "results.csv")) as handle:
+            csvs[engine] = handle.read()
+    with open(GOLDEN, encoding="utf-8") as handle:
+        golden = handle.read()
+    assert csvs["reference"] == golden, (
+        "reference sweep over the ingested fixture diverged from "
+        f"{GOLDEN} — if the change is intentional, regenerate the golden"
+    )
+
+    def strip_engine(text):
+        rows = [line.split(",") for line in text.splitlines()]
+        return [row[:4] + row[5:] for row in rows]
+
+    assert strip_engine(csvs["fast"]) == strip_engine(csvs["reference"]), (
+        "fast engine diverged from reference on the ingested fixture"
+    )
+    print(f"sweep: both engines match the golden CSV ({len(golden)} bytes)")
+    return 0
+
+
+def serve(base_dir: str) -> int:
+    from repro.serve.client import ServeClient, read_port_file
+
+    replay_dir = os.path.abspath(os.path.join(base_dir, "replay"))
+    if not os.path.exists(os.path.join(replay_dir, "source.json")):
+        run_ingest(["--capture", FIXTURE, "--out", replay_dir], expect=0)
+    spec = {
+        "name": "ingest-smoke",
+        "policies": POLICIES,
+        "llc_mb": [LLC_MB],
+        "apps": ["capdemo"],
+        "engine": "reference",
+        "source": f"replay:{replay_dir}",
+    }
+    port_file = os.path.join(base_dir, "serve.port")
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    log = open(os.path.join(base_dir, "serve.log"), "w", encoding="utf-8")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve",
+         "--store", os.path.join(base_dir, "store"),
+         "--port", "0",
+         "--port-file", port_file,
+         "--cache-dir", os.path.join(base_dir, "cache")],
+        stdout=log, stderr=log,
+    )
+    try:
+        deadline = time.time() + 30
+        while not os.path.exists(port_file):
+            if time.time() > deadline:
+                raise SystemExit("error: gspc-serve never wrote its port file")
+            time.sleep(0.05)
+        client = ServeClient(read_port_file(port_file))
+        client.wait_until_up()
+        entry = client.submit(spec)
+        client.wait(entry["key"], timeout=600)
+        served = client.result(entry["key"])["results_csv"]
+        client.shutdown()
+        assert server.wait(timeout=30) == 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+        log.close()
+    with open(GOLDEN, encoding="utf-8") as handle:
+        golden = handle.read()
+    assert served == golden, (
+        "gspc-serve served different bytes than the golden CSV for the "
+        "ingested-fixture spec"
+    )
+    print("serve: source-bearing spec served byte-identical to the golden")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Trace-ingestion smoke harness (exit-code contract, "
+        "golden sweep replay, serve leg)."
+    )
+    parser.add_argument("phase", choices=["contract", "sweep", "serve"])
+    parser.add_argument(
+        "--dir", default="ingest-smoke", help="scratch directory"
+    )
+    args = parser.parse_args(argv)
+    return {"contract": contract, "sweep": sweep, "serve": serve}[args.phase](
+        args.dir
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,10 @@ from repro.obs import log as obs_log
 from repro.fastsim.dispatch import ENGINE_AUTO, ENGINES
 from repro.obs.manifest import sim_manifest, timing_manifest, write_manifest
 from repro.parallel import resolve_jobs, run_policy_sims
-from repro.trace.io import load_trace, save_trace
+from repro.trace.io import load_trace, save_trace, trace_format
 from repro.trace.record import Trace
+from repro.trace.sources import SOURCE_SYNTHETIC, resolve_source, \
+    validate_source_spec
 
 #: Process exit-code convention shared by every gspc-* entry point
 #: (see docs/observability.md): success, runtime failure, usage error,
@@ -64,9 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="gspc-sim", description="Simulate LLC policies on one trace."
     )
     source = parser.add_mutually_exclusive_group(required=False)
-    source.add_argument("--trace", help="path to a saved .npz LLC trace")
     source.add_argument(
-        "--app", help="synthesize a frame of this application (Table 1 name)"
+        "--trace", help="path to a saved .gsct/.npz LLC trace"
+    )
+    source.add_argument(
+        "--app",
+        help="simulate a frame of this workload (a Table 1 name for the "
+        "synthetic source, a captured workload name otherwise)",
+    )
+    parser.add_argument(
+        "--trace-source",
+        default=SOURCE_SYNTHETIC,
+        metavar="SPEC",
+        help="where frames come from: 'synthetic' (default), "
+        "'capture:PATH' (ingest a capture on the fly) or 'replay:DIR' "
+        "(gspc-ingest output); see docs/traces.md",
     )
     parser.add_argument("--frame", type=int, default=0, help="frame index")
     parser.add_argument(
@@ -144,13 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
 def _resolve_trace(args: argparse.Namespace) -> Trace:
     if args.trace:
         return load_trace(args.trace)
-    from repro.workloads.apps import app_by_name
-    from repro.workloads.framegen import generate_frame_trace
-
-    app_name = args.app or "BioShock"
-    return generate_frame_trace(
-        app_by_name(app_name), args.frame, scale=args.scale
-    )
+    source = resolve_source(args.trace_source)
+    if args.app:
+        workload = args.app
+    elif args.trace_source == SOURCE_SYNTHETIC:
+        workload = "BioShock"
+    else:
+        workload = source.workloads()[0].name
+    return source.frame_trace(workload, args.frame, args.scale)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -167,6 +182,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise ReproError(
                 f"--trace-sample must be >= 1, got {args.trace_sample}"
             )
+        validate_source_spec(args.trace_source)
+        # Unknown trace extensions are caller mistakes; fail as usage
+        # errors before any simulation work.
+        if args.trace:
+            trace_format(args.trace)
+        if args.save_trace:
+            trace_format(args.save_trace)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

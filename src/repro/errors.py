@@ -70,3 +70,12 @@ class SweepError(ReproError):
 class ServeError(ReproError):
     """The simulation service was misconfigured, a submitted job spec is
     invalid, or a service-side computation failed permanently."""
+
+
+class SourceError(ReproError):
+    """A trace source is misconfigured or a capture cannot be ingested.
+
+    Covers malformed source specifications (``"capture:..."`` /
+    ``"replay:..."``), unreadable or truncated capture files, unknown
+    stream tags under strict ingestion, and replay directories without a
+    valid ``source.json`` manifest."""

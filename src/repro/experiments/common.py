@@ -23,7 +23,8 @@ from repro.sim.offline import simulate_trace
 from repro.sim.results import SimResult
 from repro.trace.io import load_trace, save_trace
 from repro.trace.record import Trace
-from repro.workloads.apps import ALL_APPS, FrameSpec, all_frames
+from repro.trace.sources import SOURCE_SYNTHETIC, resolve_source
+from repro.workloads.apps import FrameSpec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,6 +43,10 @@ class ExperimentConfig:
     #: "auto").  Deliberately absent from the result-cache key: engines
     #: are result-identical, so cached entries are engine-agnostic.
     engine: str = "auto"
+    #: Trace source spec: ``"synthetic"`` (the built-in renderer),
+    #: ``"capture:PATH"`` or ``"replay:DIR"``
+    #: (see :mod:`repro.trace.sources`).
+    source: str = SOURCE_SYNTHETIC
 
     def system(self) -> SystemConfig:
         return paper_baseline(llc_mb=self.llc_mb, scale=self.scale)
@@ -49,38 +54,68 @@ class ExperimentConfig:
     def llc(self) -> LLCConfig:
         return self.system().llc
 
+    def trace_source(self):
+        """The resolved :class:`~repro.trace.sources.TraceSource`."""
+        return resolve_source(self.source)
+
     def frames(self) -> List[FrameSpec]:
+        frames = self.trace_source().frames()
         if self.frames_per_app is None:
-            return all_frames()
-        return [
-            FrameSpec(app, index)
-            for app in ALL_APPS
-            for index in range(min(self.frames_per_app, app.num_frames))
-        ]
+            return frames
+        taken: Dict[str, int] = {}
+        limited: List[FrameSpec] = []
+        for spec in frames:
+            count = taken.get(spec.app.abbrev, 0)
+            if count < self.frames_per_app:
+                limited.append(spec)
+                taken[spec.app.abbrev] = count + 1
+        return limited
 
 
 # -- frame trace cache ---------------------------------------------------------
 
 def frame_trace(spec: FrameSpec, config: ExperimentConfig) -> Trace:
-    """The LLC trace of one frame, memoised on disk."""
-    from repro.workloads.framegen import generate_frame_trace
+    """The LLC trace of one frame, memoised on disk.
 
-    if config.cache_dir is None:
-        return generate_frame_trace(spec.app, spec.frame_index, config.scale)
+    The cache namespace keys on the source's content identity
+    (:meth:`~repro.trace.sources.TraceSource.cache_token`): the
+    synthetic source keeps the legacy flat layout, capture sources get
+    a per-digest subdirectory (so two captures sharing workload/frame
+    names never collide), and sources whose files are already
+    replay-ready (``replay:``) bypass the cache entirely.
+    """
+    source = config.trace_source()
+    token = source.cache_token()
+    if config.cache_dir is None or token is None:
+        return source.frame_trace(spec.app.abbrev, spec.frame_index, config.scale)
     stem = f"{spec.app.abbrev}_f{spec.frame_index}_s{config.scale:g}"
-    path = os.path.join(config.cache_dir, "traces", stem + ".gsct")
+    traces_dir = os.path.join(config.cache_dir, "traces")
+    if token:
+        traces_dir = os.path.join(traces_dir, token)
+    path = os.path.join(traces_dir, stem + ".gsct")
     # Columnar entries memmap zero-copy; pre-columnar caches left behind
     # ``.npz`` entries, which stay readable instead of being regenerated.
-    legacy = os.path.join(config.cache_dir, "traces", stem + ".npz")
+    legacy = os.path.join(traces_dir, stem + ".npz")
     for candidate in (path, legacy):
         if os.path.exists(candidate):
             try:
                 return load_trace(candidate)
             except ReproError:
                 pass  # stale/corrupt cache entry: regenerate below
-    trace = generate_frame_trace(spec.app, spec.frame_index, config.scale)
+    trace = source.frame_trace(spec.app.abbrev, spec.frame_index, config.scale)
     save_trace(trace, path)
     return trace
+
+
+def frame_spec_for(
+    workload: str, frame_index: int, config: ExperimentConfig
+) -> FrameSpec:
+    """Resolve a (workload, frame) pair through the config's source.
+
+    The source-aware replacement for ``app_by_name`` + ``FrameSpec`` —
+    capture/replay workloads are not Table 1 applications.
+    """
+    return config.trace_source().frame_spec(workload, frame_index)
 
 
 # -- in-process result caches ----------------------------------------------------
@@ -90,7 +125,14 @@ _CHAR_CACHE: Dict[Tuple, FrameCharacterization] = {}
 
 
 def _cache_key(spec: FrameSpec, policy: str, config: ExperimentConfig) -> Tuple:
-    return (spec.app.abbrev, spec.frame_index, policy, config.scale, config.llc_mb)
+    return (
+        config.source,
+        spec.app.abbrev,
+        spec.frame_index,
+        policy,
+        config.scale,
+        config.llc_mb,
+    )
 
 
 def frame_result(

@@ -83,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         "kernels whenever the policy is covered; results are identical)",
     )
     parser.add_argument(
+        "--trace-source",
+        default="synthetic",
+        metavar="SPEC",
+        help="where frame traces come from: 'synthetic' (default), "
+        "'capture:PATH' or 'replay:DIR' (see docs/traces.md)",
+    )
+    parser.add_argument(
         "--csv", metavar="DIR", help="also write each table as CSV into DIR"
     )
     parser.add_argument(
@@ -269,11 +276,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.trace.sources import validate_source_spec
+
+    try:
+        validate_source_spec(args.trace_source)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     config = ExperimentConfig(
         scale=args.scale,
         frames_per_app=None if args.full else args.frames_per_app,
         cache_dir=None if args.no_cache else ".repro_cache",
         engine=args.engine,
+        source=args.trace_source,
     )
     return run_experiments(
         ids,

@@ -72,10 +72,13 @@ def decode_trace(
     bypass_reads = 0
     bypass_writes = 0
     if uncached:
-        uncached_ids = np.fromiter(
-            (int(stream) for stream in uncached), dtype=np.uint8
-        )
-        mask = np.isin(streams, uncached_ids)
+        # Dense table lookup instead of np.isin: one O(n) take against 8
+        # slots, which matters now that ingested captures (unbounded,
+        # unlike synthetic frames) flow through this path too.
+        uncached_table = np.zeros(_NUM_STREAMS, dtype=bool)
+        for stream in uncached:
+            uncached_table[int(stream)] = True
+        mask = uncached_table[streams]
         if mask.any():
             counts = np.bincount(streams[mask], minlength=_NUM_STREAMS)
             bypasses = [int(count) for count in counts]

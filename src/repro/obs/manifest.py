@@ -8,7 +8,7 @@ data instead of stdout — ``benchmarks/manifest_report.py`` consumes
 them, and CI validates a freshly emitted one against the schema on
 every push (``python -m repro.obs.manifest out/*.json``).
 
-Three manifest kinds share one envelope (``schema_version``, ``kind``,
+Six manifest kinds share one envelope (``schema_version``, ``kind``,
 ``created_unix``, ``config``, ``phases``):
 
 * ``offline-sim`` — one policy replayed over one trace
@@ -25,6 +25,11 @@ Three manifest kinds share one envelope (``schema_version``, ``kind``,
   request/cache/coalescing counters in ``serve`` and the service's
   metrics-registry snapshot (latency histogram included) in
   ``metrics``.
+* ``ingest`` — one ``gspc-ingest`` conversion (:func:`ingest_manifest`):
+  the originating source's identity in ``source``, aggregate conversion
+  counters in ``metrics``, and one per-frame entry in ``frames`` with
+  the stream-mix/reuse characterization and its Table 1 envelope
+  verdict.
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ KIND_KEYS = {
     "experiment": ("experiment", "metrics"),
     "sweep": ("sweep", "metrics", "jobs"),
     "serve": ("serve", "metrics"),
+    "ingest": ("source", "metrics", "frames"),
 }
 
 
@@ -247,6 +253,32 @@ def serve_manifest(
     return manifest
 
 
+def ingest_manifest(
+    config,
+    source: Mapping[str, object],
+    metrics: Mapping[str, object],
+    frames: List,
+    wall_seconds: float = 0.0,
+) -> Dict[str, object]:
+    """Manifest for one ``gspc-ingest`` conversion.
+
+    ``source`` is the originating :meth:`TraceSource.identity` (kind,
+    path, content digest); ``metrics`` aggregates the conversion
+    (frames/accesses converted, unknown-tag counts, conformance
+    failures); ``frames`` carries one entry per converted frame with
+    its ``workload``/``frame``/``file``/``sha256``, the
+    :func:`~repro.trace.sources.envelope.characterize_capture` stream
+    characterization, and the envelope verdict.
+    """
+    manifest = _envelope("ingest", config, _phases(0.0, wall_seconds))
+    manifest.update(
+        source=_jsonable(dict(source)),
+        metrics=_jsonable(dict(metrics)),
+        frames=_jsonable(list(frames)),
+    )
+    return manifest
+
+
 # -- I/O ---------------------------------------------------------------------
 
 def manifest_filename(manifest: Mapping[str, object]) -> str:
@@ -256,6 +288,12 @@ def manifest_filename(manifest: Mapping[str, object]) -> str:
         label = str(manifest.get("experiment", {}).get("id", "unknown"))
     elif kind == "sweep":
         label = str(manifest.get("sweep", {}).get("name", "unknown"))
+    elif kind == "ingest":
+        source = manifest.get("source") or {}
+        label = (
+            f"{source.get('kind', 'source')}_"
+            f"{str(source.get('sha256', 'unknown'))[:12]}"
+        )
     else:
         trace = manifest.get("trace") or {}
         label = f"{trace.get('name', 'trace')}_{manifest.get('policy', '')}"
@@ -340,6 +378,8 @@ def validate_manifest(manifest: Mapping[str, object]) -> List[str]:
         problems.extend(_validate_sweep(manifest))
     if kind == "serve":
         problems.extend(_validate_serve(manifest))
+    if kind == "ingest":
+        problems.extend(_validate_ingest(manifest))
     if "parallel" in manifest:
         problems.extend(_validate_parallel(manifest["parallel"]))
     engine = manifest.get("engine")
@@ -416,6 +456,59 @@ def _validate_serve(manifest: Mapping[str, object]) -> List[str]:
     metrics = manifest.get("metrics")
     if metrics is not None and not isinstance(metrics, Mapping):
         problems.append("serve 'metrics' must be an object")
+    return problems
+
+
+#: Integer counters the ``ingest`` ``metrics`` section must carry.
+INGEST_METRIC_KEYS = (
+    "frames", "accesses", "unknown_tags", "envelope_violations"
+)
+#: Keys every entry of an ingest manifest's ``frames`` list must carry.
+INGEST_FRAME_KEYS = (
+    "workload", "frame", "file", "sha256", "characterization", "conformant"
+)
+
+
+def _validate_ingest(manifest: Mapping[str, object]) -> List[str]:
+    problems: List[str] = []
+    source = manifest.get("source")
+    if not isinstance(source, Mapping):
+        problems.append(
+            f"'source' must be an object, got {type(source).__name__}"
+        )
+    elif "kind" not in source:
+        problems.append("source section missing 'kind'")
+    metrics = manifest.get("metrics")
+    if not isinstance(metrics, Mapping):
+        problems.append(
+            f"ingest 'metrics' must be an object, got {type(metrics).__name__}"
+        )
+    else:
+        for key in INGEST_METRIC_KEYS:
+            value = metrics.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(
+                    f"metrics.{key} must be an integer, got {value!r}"
+                )
+    frames = manifest.get("frames")
+    if not isinstance(frames, list) or not frames:
+        problems.append("'frames' must be a non-empty list")
+    else:
+        for position, entry in enumerate(frames):
+            if not isinstance(entry, Mapping):
+                problems.append(f"frames[{position}] must be an object")
+                continue
+            for key in INGEST_FRAME_KEYS:
+                if key not in entry:
+                    problems.append(f"frames[{position}] missing {key!r}")
+            characterization = entry.get("characterization")
+            if isinstance(characterization, Mapping):
+                for key in ("accesses", "streams", "classes"):
+                    if key not in characterization:
+                        problems.append(
+                            f"frames[{position}].characterization "
+                            f"missing {key!r}"
+                        )
     return problems
 
 

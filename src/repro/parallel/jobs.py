@@ -33,6 +33,7 @@ from repro.errors import ParallelError
 from repro.experiments.common import (
     Experiment,
     ExperimentConfig,
+    frame_spec_for,
     frame_trace,
     seed_frame_characterization,
     seed_frame_result,
@@ -79,7 +80,11 @@ class SimJob:
         suffix = f":{self.policy}" if self.policy else ""
         return f"{self.kind}:{self.app}:f{self.frame_index}{suffix}"
 
-    def spec(self) -> FrameSpec:
+    def spec(self, config: Optional[ExperimentConfig] = None) -> FrameSpec:
+        """The frame this job targets, resolved through ``config``'s
+        trace source (Table 1 synthesis when no config is given)."""
+        if config is not None:
+            return frame_spec_for(self.app, self.frame_index, config)
         return FrameSpec(app_by_name(self.app), self.frame_index)
 
 
@@ -165,7 +170,7 @@ def execute_job(
         tracing.activate(child)
         spans.enable_events(context=child, sample_period=trace_sample)
     started = time.perf_counter()
-    spec = job.spec()
+    spec = job.spec(config)
     with spans.span(job.kind):
         if job.kind == "trace":
             with spans.span("trace"):
@@ -206,7 +211,7 @@ def seed_outcomes(
     for outcome in outcomes:
         if outcome.value is None:
             continue
-        spec = outcome.job.spec()
+        spec = outcome.job.spec(config)
         if outcome.job.kind == "sim":
             seed_frame_result(spec, outcome.job.policy, config, outcome.value)
         elif outcome.job.kind == "char":

@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay engine for the sim jobs",
     )
     parser.add_argument(
+        "--source",
+        default="synthetic",
+        metavar="SPEC",
+        help="trace source axis: 'synthetic' (default), 'capture:PATH' "
+        "or 'replay:DIR' (gspc-ingest output); see docs/traces.md",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -208,6 +215,7 @@ def _resolve_spec(
             args.frames_per_app,
             args.scale,
             args.engine,
+            args.source,
         )
     persisted_path = spec_path(sweep_dir)
     if resuming:

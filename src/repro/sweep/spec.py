@@ -24,11 +24,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DEFAULT_SCALE
 from repro.core.registry import UCD_SUFFIX, available_policies
-from repro.errors import SweepError
+from repro.errors import SourceError, SweepError
 from repro.experiments.common import ExperimentConfig
 from repro.fastsim.dispatch import ENGINES
 from repro.parallel.jobs import SimJob
-from repro.workloads.apps import ALL_APPS, FrameSpec, app_by_name
+from repro.trace.sources import (
+    SOURCE_SYNTHETIC,
+    resolve_source,
+    validate_source_spec,
+)
+from repro.workloads.apps import ALL_APPS, FrameSpec
 
 #: Filename the CLI persists the spec under inside the sweep directory.
 SPEC_FILENAME = "spec.json"
@@ -44,6 +49,7 @@ SPEC_KEYS = (
     "frames_per_app",
     "scale",
     "engine",
+    "source",
 )
 
 
@@ -54,11 +60,16 @@ class SweepSpec:
     name: str
     policies: Tuple[str, ...]
     llc_mb: Tuple[int, ...] = (8,)
-    #: Application abbreviations (Table 1 names); empty = all twelve.
+    #: Workload names (Table 1 abbreviations for the synthetic source,
+    #: captured workload names otherwise); empty = every workload the
+    #: source exposes.
     apps: Tuple[str, ...] = ()
     frames_per_app: int = 1
     scale: float = DEFAULT_SCALE
     engine: str = "auto"
+    #: Trace source axis: ``"synthetic"``, ``"capture:PATH"`` or
+    #: ``"replay:DIR"`` (see :mod:`repro.trace.sources`).
+    source: str = SOURCE_SYNTHETIC
 
     def __post_init__(self) -> None:
         if not self.name or not _NAME_RE.match(self.name):
@@ -83,12 +94,19 @@ class SweepSpec:
                 raise SweepError(f"llc_mb entries must be positive ints, got {mb!r}")
         if len(set(self.llc_mb)) != len(self.llc_mb):
             raise SweepError(f"duplicate llc_mb geometries in {self.llc_mb}")
-        known_apps = {app.abbrev for app in ALL_APPS}
-        for abbrev in self.apps:
-            if abbrev not in known_apps:
-                raise SweepError(
-                    f"unknown app {abbrev!r}; known: {sorted(known_apps)}"
-                )
+        try:
+            validate_source_spec(self.source)
+        except SourceError as exc:
+            raise SweepError(str(exc)) from exc
+        if self.source == SOURCE_SYNTHETIC:
+            # Non-synthetic workload names live in capture files; they
+            # are validated lazily when the source is resolved.
+            known_apps = {app.abbrev for app in ALL_APPS}
+            for abbrev in self.apps:
+                if abbrev not in known_apps:
+                    raise SweepError(
+                        f"unknown app {abbrev!r}; known: {sorted(known_apps)}"
+                    )
         if self.frames_per_app < 1:
             raise SweepError(
                 f"frames_per_app must be >= 1, got {self.frames_per_app}"
@@ -130,18 +148,29 @@ class SweepSpec:
             "frames_per_app": self.frames_per_app,
             "scale": self.scale,
             "engine": self.engine,
+            "source": self.source,
         }
 
     def frames(self) -> List[FrameSpec]:
-        apps = (
-            [app_by_name(abbrev) for abbrev in self.apps]
-            if self.apps
-            else list(ALL_APPS)
-        )
+        try:
+            source = resolve_source(self.source)
+            available = source.frames()
+        except SourceError as exc:
+            raise SweepError(str(exc)) from exc
+        by_app: Dict[str, List[FrameSpec]] = {}
+        for frame in available:
+            by_app.setdefault(frame.app.abbrev, []).append(frame)
+        names = tuple(self.apps) if self.apps else tuple(sorted(by_app))
+        missing = [name for name in names if name not in by_app]
+        if missing:
+            raise SweepError(
+                f"source {self.source!r} has no workload(s) {missing}; "
+                f"available: {sorted(by_app)}"
+            )
         return [
-            FrameSpec(app, index)
-            for app in apps
-            for index in range(min(self.frames_per_app, app.num_frames))
+            frame
+            for name in names
+            for frame in by_app[name][: self.frames_per_app]
         ]
 
     def config_for(
@@ -154,6 +183,7 @@ class SweepSpec:
             llc_mb=llc_mb,
             cache_dir=cache_dir,
             engine=self.engine,
+            source=self.source,
         )
 
 
@@ -261,6 +291,7 @@ def spec_from_args(
     frames_per_app: int,
     scale: float,
     engine: str,
+    source: str = SOURCE_SYNTHETIC,
 ) -> SweepSpec:
     """Build a spec from CLI flags (same validation as a spec file)."""
     return SweepSpec(
@@ -271,4 +302,5 @@ def spec_from_args(
         frames_per_app=frames_per_app,
         scale=scale,
         engine=engine,
+        source=source,
     )

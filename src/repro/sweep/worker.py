@@ -65,6 +65,7 @@ def job_payload(
         "llc_mb": job.llc_mb or 8,
         "scale": spec.scale,
         "engine": spec.engine,
+        "source": spec.source,
         "cache_dir": cache_dir,
         "inject": inject,
         "hang_seconds": hang_seconds,
@@ -110,6 +111,10 @@ def run_job_in_worker(payload: Dict[str, object], out_path: str) -> None:
         llc_mb=int(payload["llc_mb"]),  # type: ignore[arg-type]
         cache_dir=payload["cache_dir"],  # type: ignore[arg-type]
         engine=str(payload["engine"]),
+        # Pre-source payloads (an old journal replayed by a newer
+        # binary) default to the synthetic renderer, matching their
+        # original meaning.
+        source=str(payload.get("source", "synthetic")),
     )
     from repro.obs.tracing import TraceContext
 

@@ -2,8 +2,8 @@
 
 Two formats share this front door, dispatched on the file extension:
 
-* ``.npz`` (default) — compressed archives holding the three packed
-  arrays plus a JSON metadata blob; smallest on disk.
+* ``.npz`` — compressed archives holding the three packed arrays plus
+  a JSON metadata blob; smallest on disk.
 * ``.gsct`` — the binary columnar layout of
   :mod:`repro.trace.columnar`; raw aligned arrays loaded zero-copy via
   ``np.memmap``, so repeat loads (the frame-trace cache) skip the
@@ -28,19 +28,39 @@ FORMAT_VERSION = 1
 
 PathLike = Union[str, "os.PathLike[str]"]
 
+#: Extensions the dispatcher understands.
+TRACE_EXTENSIONS = (".gsct", ".npz")
+
+
+def trace_format(path: PathLike) -> str:
+    """The format (``"gsct"`` or ``"npz"``) a path dispatches to.
+
+    Raises :class:`TraceError` for any other extension — an unknown
+    extension is a caller mistake (CLIs map it to a usage error, exit
+    code 2), never something to guess a format for.
+    """
+    base = os.fspath(path)
+    for extension in TRACE_EXTENSIONS:
+        if base.endswith(extension):
+            return extension.lstrip(".")
+    raise TraceError(
+        f"unknown trace extension on {base!r}: expected one of "
+        f"{', '.join(TRACE_EXTENSIONS)}"
+    )
+
 
 def save_trace(trace: Trace, path: PathLike) -> None:
     """Write ``trace`` to ``path`` (creating parent directories).
 
-    A ``.gsct`` path selects the columnar format; anything else writes
-    the compressed ``.npz`` archive.  Either way the write is atomic:
-    the file is serialized into a process-unique temporary in the same
-    directory and then renamed over ``path``, so concurrent readers
-    (and concurrent writers racing on the same cache key) never observe
-    a partially written trace.
+    A ``.gsct`` path selects the columnar format, ``.npz`` the
+    compressed archive; any other extension raises :class:`TraceError`.
+    Either way the write is atomic: the file is serialized into a
+    process-unique temporary in the same directory and then renamed
+    over ``path``, so concurrent readers (and concurrent writers racing
+    on the same cache key) never observe a partially written trace.
     """
     base = os.fspath(path)
-    if base.endswith(".gsct"):
+    if trace_format(base) == "gsct":
         from repro.trace.columnar import save_columnar
 
         save_columnar(trace, base)
@@ -48,9 +68,7 @@ def save_trace(trace: Trace, path: PathLike) -> None:
     directory = os.path.dirname(base)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    # np.savez appends ".npz" when the name lacks it; resolve the final
-    # name up front so the rename lands where a reader will look.
-    final = base if base.endswith(".npz") else base + ".npz"
+    final = base
     tmp = f"{final}.tmp-{os.getpid()}.npz"
     try:
         np.savez_compressed(
@@ -73,10 +91,11 @@ def save_trace(trace: Trace, path: PathLike) -> None:
 def load_trace(path: PathLike) -> Trace:
     """Load a trace previously written by :func:`save_trace`.
 
-    ``.gsct`` paths memmap the columns zero-copy; others inflate the
-    ``.npz`` archive.
+    ``.gsct`` paths memmap the columns zero-copy, ``.npz`` paths
+    inflate the archive; any other extension raises
+    :class:`TraceError`.
     """
-    if os.fspath(path).endswith(".gsct"):
+    if trace_format(path) == "gsct":
         from repro.trace.columnar import load_columnar
 
         return load_columnar(path)

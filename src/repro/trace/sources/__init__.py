@@ -1,0 +1,173 @@
+"""Pluggable trace sources.
+
+Every trace the simulators replay comes from a :class:`TraceSource` — an
+object that enumerates *workloads* and *frames* and produces the
+per-frame LLC access :class:`~repro.trace.record.Trace` tagged with our
+stream taxonomy.  Three sources ship today:
+
+* :class:`~repro.trace.sources.synthetic.SyntheticSource` — the built-in
+  renderer behind the twelve Table-1 application profiles (the default;
+  what every experiment used before this package existed).
+* :class:`~repro.trace.sources.capture.CaptureSource` — ingests
+  externally captured API/LLC access logs in the documented JSONL/CSV
+  capture schema (see ``docs/traces.md``), mapping foreign stream tags
+  onto the taxonomy in strict or lenient mode.
+* :class:`~repro.trace.sources.replaydir.ReplaySource` — replays a
+  directory of pre-converted ``.gsct`` columnar traces produced by
+  ``gspc-ingest``.
+
+Sources are addressed by a *source spec* string — ``"synthetic"``,
+``"capture:PATH"`` or ``"replay:DIR"`` — which travels through
+:class:`~repro.experiments.common.ExperimentConfig`, the sweep spec's
+``source`` axis, and both CLIs' ``--trace-source`` flags.  The frame
+trace cache keys on :meth:`TraceSource.cache_token`, a digest of the
+source's *content* identity, so two different captures that happen to
+share workload and frame names never collide in the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.errors import SourceError
+from repro.workloads.apps import FrameSpec
+
+#: The default source spec (the built-in synthetic renderer).
+SOURCE_SYNTHETIC = "synthetic"
+
+#: Source-spec scheme prefixes understood by :func:`resolve_source`.
+SCHEME_CAPTURE = "capture"
+SCHEME_REPLAY = "replay"
+KNOWN_SCHEMES = (SCHEME_CAPTURE, SCHEME_REPLAY)
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceWorkload:
+    """A workload exposed by a non-synthetic source.
+
+    Duck-type compatible with
+    :class:`~repro.workloads.apps.AppProfile` where the rest of the
+    code base cares (``abbrev``, ``name``, ``num_frames``), so source
+    frames ride in plain :class:`~repro.workloads.apps.FrameSpec`
+    containers through the experiment, parallel, and sweep layers.
+    """
+
+    name: str
+    num_frames: int
+
+    @property
+    def abbrev(self) -> str:
+        return self.name
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SourceError("source workload needs a non-empty name")
+        if self.num_frames < 1:
+            raise SourceError(
+                f"workload {self.name!r} needs at least one frame"
+            )
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """What the experiment/sweep layers need from a trace provider."""
+
+    #: The source spec string this instance was resolved from.
+    spec: str
+
+    def identity(self) -> Dict[str, object]:
+        """Stable, content-addressed identity (for manifests/caching)."""
+        ...
+
+    def cache_token(self) -> Optional[str]:
+        """Frame-cache key prefix.
+
+        ``""`` keeps the legacy cache layout (synthetic), a non-empty
+        token namespaces entries per source content, and ``None``
+        disables disk caching entirely (the source's own files are
+        already replay-ready).
+        """
+        ...
+
+    def workloads(self) -> List[SourceWorkload]:
+        ...
+
+    def frames(self) -> List[FrameSpec]:
+        """Every (workload, frame) pair, in deterministic order."""
+        ...
+
+    def frame_spec(self, workload: str, frame_index: int) -> FrameSpec:
+        ...
+
+    def frame_trace(self, workload: str, frame_index: int, scale: float):
+        """The LLC access trace of one frame (``scale`` is only
+        meaningful for generative sources; captured frames ignore it)."""
+        ...
+
+
+def validate_source_spec(spec: str) -> str:
+    """Syntax-check a source spec string; returns it unchanged.
+
+    Raises :class:`SourceError` for unknown schemes or empty paths —
+    without touching the filesystem, so spec objects (sweep specs,
+    serve submissions) can validate eagerly.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise SourceError(f"trace source must be a non-empty string, got {spec!r}")
+    if spec == SOURCE_SYNTHETIC:
+        return spec
+    scheme, sep, path = spec.partition(":")
+    if not sep or scheme not in KNOWN_SCHEMES:
+        raise SourceError(
+            f"unknown trace source {spec!r}; expected {SOURCE_SYNTHETIC!r}, "
+            f"'capture:PATH' or 'replay:DIR'"
+        )
+    if not path:
+        raise SourceError(f"trace source {spec!r} is missing its path")
+    return spec
+
+
+#: Resolved sources, memoised per spec string.  Capture/replay sources
+#: fingerprint their files at construction, so repeat resolutions (one
+#: per frame_trace call in the worst case) must not re-hash everything.
+_RESOLVED: Dict[str, "TraceSource"] = {}
+
+
+def resolve_source(spec: str) -> "TraceSource":
+    """Resolve a source spec string to a (memoised) :class:`TraceSource`."""
+    validate_source_spec(spec)
+    if spec in _RESOLVED:
+        return _RESOLVED[spec]
+    if spec == SOURCE_SYNTHETIC:
+        from repro.trace.sources.synthetic import SyntheticSource
+
+        source: TraceSource = SyntheticSource()
+    else:
+        scheme, _, path = spec.partition(":")
+        if scheme == SCHEME_CAPTURE:
+            from repro.trace.sources.capture import CaptureSource
+
+            source = CaptureSource(path)
+        else:
+            from repro.trace.sources.replaydir import ReplaySource
+
+            source = ReplaySource(path)
+    _RESOLVED[spec] = source
+    return source
+
+
+def clear_resolved_sources() -> None:
+    """Drop the memoised sources (tests; captures rewritten in place)."""
+    _RESOLVED.clear()
+
+
+__all__ = [
+    "KNOWN_SCHEMES",
+    "SOURCE_SYNTHETIC",
+    "SourceWorkload",
+    "TraceSource",
+    "clear_resolved_sources",
+    "resolve_source",
+    "validate_source_spec",
+]

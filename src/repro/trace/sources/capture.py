@@ -1,0 +1,563 @@
+"""Externally captured access logs as a :class:`TraceSource`.
+
+The *capture schema* (documented in ``docs/traces.md``) is the repo's
+front door for traces we did not generate: an apitrace-style dump of the
+LLC access stream of one frame, one file per frame, in either of two
+encodings (both optionally gzip-compressed, extension ``.gz``):
+
+* **JSONL** (``.jsonl``) — line 1 is a header object::
+
+      {"capture": "gspc-capture", "version": 1,
+       "workload": "name", "frame": 0, "accesses": N}
+
+  followed by one record per access::
+
+      {"addr": 123456, "stream": "TEX", "write": false}
+
+  ``addr`` may be an integer or a ``"0x..."`` hex string; ``write``
+  defaults to ``false``.  The declared ``accesses`` count lets
+  ingestion reject captures truncated at a line boundary — the same
+  torn-file discipline the ``.gsct`` reader applies.
+
+* **CSV** (``.csv``) — a ``addr,stream,write`` header row followed by
+  one row per access.  CSV carries no declared count, so line-boundary
+  truncation is only detectable in JSONL.
+
+Stream tags map onto :class:`repro.streams.Stream` through a generous
+alias table (``"color"`` → RT, ``"depth"`` → Z, ``"sampler"`` → TEX,
+…).  In **strict** mode an unknown tag aborts ingestion; in **lenient**
+mode it maps to ``OTHER`` and is counted, so the characterization
+manifest shows exactly how much of the capture was unclassifiable.
+
+A :class:`CaptureSource` fingerprints every capture file at
+construction; the digest feeds :meth:`cache_token`, so converted traces
+from different captures never collide in the frame-trace cache even
+when workload and frame names do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+import re
+from typing import Dict, IO, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SourceError
+from repro.streams import Stream
+from repro.trace.record import Trace, TraceBuilder
+from repro.trace.sources import SourceWorkload
+from repro.workloads.apps import FrameSpec
+
+#: Schema identification.
+CAPTURE_KIND = "gspc-capture"
+CAPTURE_VERSION = 1
+
+#: Ingestion modes.
+MODE_STRICT = "strict"
+MODE_LENIENT = "lenient"
+MODES = (MODE_STRICT, MODE_LENIENT)
+
+#: Recognized capture filename suffixes, longest first.
+CAPTURE_SUFFIXES = (".jsonl.gz", ".csv.gz", ".jsonl", ".csv")
+
+#: ``<workload>_f<idx>`` filename convention (fallback identity when a
+#: CSV capture carries no header metadata).
+_FRAME_NAME_RE = re.compile(r"^(?P<workload>.+)_f(?P<frame>\d+)$")
+
+#: Foreign stream tag -> taxonomy stream.  Keys are lower-case; lookup
+#: strips non-alphanumerics, so ``"render-target"`` and ``"RenderTarget"``
+#: both land on RT.  Numeric tags ``"0"``..``"7"`` are accepted as raw
+#: :class:`Stream` values.
+STREAM_TAGS: Dict[str, Stream] = {
+    # canonical short and enum names
+    "vtx": Stream.VERTEX, "vertex": Stream.VERTEX,
+    "hiz": Stream.HIZ, "hierarchicalz": Stream.HIZ,
+    "z": Stream.Z, "depth": Stream.Z, "zbuffer": Stream.Z,
+    "stc": Stream.STENCIL, "stencil": Stream.STENCIL,
+    "rt": Stream.RT, "rendertarget": Stream.RT, "color": Stream.RT,
+    "colorbuffer": Stream.RT,
+    "tex": Stream.TEXTURE, "texture": Stream.TEXTURE,
+    "sampler": Stream.TEXTURE, "texel": Stream.TEXTURE,
+    "disp": Stream.DISPLAY, "display": Stream.DISPLAY,
+    "present": Stream.DISPLAY, "scanout": Stream.DISPLAY,
+    "framebuffer": Stream.DISPLAY,
+    "oth": Stream.OTHER, "other": Stream.OTHER, "misc": Stream.OTHER,
+    "const": Stream.OTHER, "constant": Stream.OTHER,
+    "shader": Stream.OTHER, "code": Stream.OTHER, "state": Stream.OTHER,
+    # vertex-index fetches share the input-assembler stream
+    "index": Stream.VERTEX, "ib": Stream.VERTEX, "vb": Stream.VERTEX,
+}
+
+_TAG_CLEAN_RE = re.compile(r"[^a-z0-9]+")
+
+
+def canonical_tag(tag: str) -> str:
+    return _TAG_CLEAN_RE.sub("", tag.strip().lower())
+
+
+def map_stream_tag(tag: object) -> Optional[Stream]:
+    """The taxonomy stream for a capture tag, or ``None`` if unknown."""
+    if isinstance(tag, bool):
+        return None
+    if isinstance(tag, int):
+        return Stream(tag) if 0 <= tag < len(Stream) else None
+    if not isinstance(tag, str):
+        return None
+    cleaned = canonical_tag(tag)
+    if cleaned in STREAM_TAGS:
+        return STREAM_TAGS[cleaned]
+    if cleaned.isdigit() and int(cleaned) < len(Stream):
+        return Stream(int(cleaned))
+    return None
+
+
+@dataclasses.dataclass
+class IngestStats:
+    """What ingestion learned while converting one capture frame."""
+
+    accesses: int = 0
+    writes: int = 0
+    #: Lenient-mode unknown tags, tag -> occurrences.
+    unknown_tags: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def unknown_count(self) -> int:
+        return sum(self.unknown_tags.values())
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureFrame:
+    """One capture file: identity plus its content fingerprint."""
+
+    path: str
+    workload: str
+    frame_index: int
+    sha256: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}#f{self.frame_index}"
+
+
+# -- low-level file access -----------------------------------------------------
+
+def _open_capture(path: str) -> IO[str]:
+    try:
+        if path.endswith(".gz"):
+            return gzip.open(path, "rt", encoding="utf-8")
+        return open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise SourceError(f"cannot open capture {path}: {exc}") from exc
+
+
+def _strip_suffix(filename: str) -> Optional[str]:
+    for suffix in CAPTURE_SUFFIXES:
+        if filename.endswith(suffix):
+            return filename[: -len(suffix)]
+    return None
+
+
+def is_capture_filename(filename: str) -> bool:
+    return _strip_suffix(filename) is not None
+
+
+def _is_jsonl(path: str) -> bool:
+    return path.endswith(".jsonl") or path.endswith(".jsonl.gz")
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise SourceError(f"cannot read capture {path}: {exc}") from exc
+    return digest.hexdigest()
+
+
+def _identity_from_filename(path: str) -> Tuple[str, int]:
+    stem = _strip_suffix(os.path.basename(path))
+    if stem is None:
+        raise SourceError(
+            f"not a capture file (expected one of {CAPTURE_SUFFIXES}): {path}"
+        )
+    match = _FRAME_NAME_RE.match(stem)
+    if match:
+        return match.group("workload"), int(match.group("frame"))
+    return stem, 0
+
+
+def _parse_header(line: str, path: str) -> Dict[str, object]:
+    try:
+        header = json.loads(line)
+    except ValueError as exc:
+        raise SourceError(
+            f"capture {path}: first line is not a JSON header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("capture") != CAPTURE_KIND:
+        raise SourceError(
+            f"capture {path}: missing {CAPTURE_KIND!r} header line"
+        )
+    version = header.get("version")
+    if version != CAPTURE_VERSION:
+        raise SourceError(
+            f"capture {path}: schema version {version!r} unsupported "
+            f"(expected {CAPTURE_VERSION})"
+        )
+    return header
+
+
+def capture_identity(path: str) -> Tuple[str, int]:
+    """(workload, frame) of a capture file, header over filename."""
+    workload, frame_index = _identity_from_filename(path)
+    if _is_jsonl(path):
+        try:
+            with _open_capture(path) as handle:
+                header = _parse_header(handle.readline(), path)
+        except (OSError, EOFError, UnicodeDecodeError) as exc:
+            raise SourceError(f"capture {path}: unreadable: {exc}") from exc
+        workload = str(header.get("workload", workload))
+        frame_value = header.get("frame", frame_index)
+        if not isinstance(frame_value, int) or isinstance(frame_value, bool) \
+                or frame_value < 0:
+            raise SourceError(
+                f"capture {path}: header frame must be a non-negative "
+                f"integer, got {frame_value!r}"
+            )
+        frame_index = frame_value
+    return workload, frame_index
+
+
+# -- record parsing ------------------------------------------------------------
+
+def _parse_addr(value: object, where: str) -> int:
+    if isinstance(value, bool):
+        raise SourceError(f"{where}: addr must be an integer, got {value!r}")
+    if isinstance(value, str):
+        try:
+            value = int(value, 16) if value.lower().startswith("0x") \
+                else int(value)
+        except ValueError:
+            raise SourceError(f"{where}: unparsable addr {value!r}") from None
+    if not isinstance(value, int) or value < 0 or value >= 1 << 64:
+        raise SourceError(
+            f"{where}: addr must be an unsigned 64-bit integer, got {value!r}"
+        )
+    return value
+
+
+_WRITE_FLAGS = {
+    "1": True, "true": True, "w": True, "write": True,
+    "0": False, "false": False, "r": False, "read": False, "": False,
+}
+
+
+def _parse_write(value: object, where: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str) and value.strip().lower() in _WRITE_FLAGS:
+        return _WRITE_FLAGS[value.strip().lower()]
+    raise SourceError(f"{where}: unparsable write flag {value!r}")
+
+
+def _resolve_stream(
+    tag: object, mode: str, stats: IngestStats, where: str
+) -> Stream:
+    stream = map_stream_tag(tag)
+    if stream is not None:
+        return stream
+    if mode == MODE_STRICT:
+        known = sorted(set(STREAM_TAGS))
+        raise SourceError(
+            f"{where}: unknown stream tag {tag!r} (strict mode); "
+            f"known tags: {', '.join(known)}"
+        )
+    label = tag if isinstance(tag, str) else repr(tag)
+    stats.unknown_tags[label] = stats.unknown_tags.get(label, 0) + 1
+    return Stream.OTHER
+
+
+def read_capture(
+    path: str, mode: str = MODE_STRICT
+) -> Tuple[Trace, IngestStats]:
+    """Parse one capture file into a taxonomy-tagged :class:`Trace`.
+
+    Raises :class:`SourceError` for anything malformed: bad header,
+    unparsable records, a record count that contradicts the header's
+    declared ``accesses`` (truncation), an empty capture, or — in
+    strict mode — an unknown stream tag.
+    """
+    if mode not in MODES:
+        raise SourceError(f"unknown ingest mode {mode!r}; expected {MODES}")
+    workload, frame_index = capture_identity(path)
+    stats = IngestStats()
+    builder = TraceBuilder()
+    declared: Optional[int] = None
+    with _open_capture(path) as handle:
+        try:
+            if _is_jsonl(path):
+                header = _parse_header(handle.readline(), path)
+                if "accesses" in header:
+                    declared = header["accesses"]
+                    if not isinstance(declared, int) \
+                            or isinstance(declared, bool) or declared < 0:
+                        raise SourceError(
+                            f"capture {path}: declared accesses must be a "
+                            f"non-negative integer, got {declared!r}"
+                        )
+                elif mode == MODE_STRICT:
+                    raise SourceError(
+                        f"capture {path}: header lacks the declared "
+                        "'accesses' count (strict mode)"
+                    )
+                for lineno, line in enumerate(handle, start=2):
+                    if not line.strip():
+                        continue
+                    where = f"capture {path}:{lineno}"
+                    try:
+                        record = json.loads(line)
+                    except ValueError as exc:
+                        raise SourceError(
+                            f"{where}: unparsable record: {exc}"
+                        ) from None
+                    if not isinstance(record, dict) or "addr" not in record \
+                            or "stream" not in record:
+                        raise SourceError(
+                            f"{where}: record needs 'addr' and 'stream'"
+                        )
+                    builder.append(
+                        _parse_addr(record["addr"], where),
+                        _resolve_stream(record["stream"], mode, stats, where),
+                        _parse_write(record.get("write", False), where),
+                    )
+            else:
+                first = handle.readline()
+                columns = [c.strip().lower() for c in first.strip().split(",")]
+                if columns[:2] != ["addr", "stream"]:
+                    raise SourceError(
+                        f"capture {path}: CSV header must start with "
+                        f"'addr,stream', got {first.strip()!r}"
+                    )
+                for lineno, line in enumerate(handle, start=2):
+                    if not line.strip():
+                        continue
+                    where = f"capture {path}:{lineno}"
+                    cells = line.strip().split(",")
+                    if len(cells) < 2:
+                        raise SourceError(f"{where}: too few columns")
+                    builder.append(
+                        _parse_addr(cells[0].strip(), where),
+                        _resolve_stream(cells[1].strip(), mode, stats, where),
+                        _parse_write(
+                            cells[2].strip() if len(cells) > 2 else "", where
+                        ),
+                    )
+        except (OSError, EOFError, UnicodeDecodeError) as exc:
+            # gzip raises EOFError on a truncated archive mid-iteration.
+            raise SourceError(f"capture {path}: unreadable: {exc}") from exc
+    if declared is not None and declared != len(builder):
+        raise SourceError(
+            f"capture {path}: header declares {declared} accesses but the "
+            f"file holds {len(builder)} (truncated or edited capture)"
+        )
+    if len(builder) == 0:
+        raise SourceError(f"capture {path}: contains no accesses")
+    builder.meta.update(
+        {
+            "name": f"{workload}#f{frame_index}",
+            "app": workload,
+            "abbrev": workload,
+            "workload": workload,
+            "frame": frame_index,
+            "source": "capture",
+            "capture_file": os.path.basename(path),
+            "ingest_mode": mode,
+        }
+    )
+    if stats.unknown_tags:
+        builder.meta["unknown_stream_tags"] = dict(
+            sorted(stats.unknown_tags.items())
+        )
+    trace = builder.build()
+    stats.accesses = len(trace)
+    stats.writes = int(trace.writes.sum())
+    return trace, stats
+
+
+# -- capture export (fixtures, round-trip tests) -------------------------------
+
+def export_capture(
+    trace: Trace,
+    path: str,
+    workload: Optional[str] = None,
+    frame_index: Optional[int] = None,
+) -> None:
+    """Write ``trace`` out in the capture schema (format by extension).
+
+    The inverse of :func:`read_capture` — used to build capture
+    fixtures from synthetic frames and by round-trip tests.
+    """
+    if not is_capture_filename(path):
+        raise SourceError(
+            f"capture path needs one of {CAPTURE_SUFFIXES}: {path}"
+        )
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    workload = workload or str(
+        trace.meta.get("workload", trace.meta.get("abbrev", "capture"))
+    )
+    if frame_index is None:
+        frame = trace.meta.get("frame", 0)
+        frame_index = frame if isinstance(frame, int) else 0
+    opener = gzip.open if path.endswith(".gz") else open
+    addresses = trace.addresses.tolist()
+    streams = trace.streams.tolist()
+    writes = trace.writes.tolist()
+    with opener(path, "wt", encoding="utf-8", newline="\n") as handle:
+        if _is_jsonl(path):
+            handle.write(
+                json.dumps(
+                    {
+                        "capture": CAPTURE_KIND,
+                        "version": CAPTURE_VERSION,
+                        "workload": workload,
+                        "frame": frame_index,
+                        "accesses": len(trace),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            for address, stream, write in zip(addresses, streams, writes):
+                handle.write(
+                    '{"addr": %d, "stream": "%s", "write": %s}\n'
+                    % (
+                        address,
+                        Stream(stream).short_name,
+                        "true" if write else "false",
+                    )
+                )
+        else:
+            handle.write("addr,stream,write\n")
+            for address, stream, write in zip(addresses, streams, writes):
+                handle.write(
+                    f"{address},{Stream(stream).short_name},"
+                    f"{1 if write else 0}\n"
+                )
+
+
+# -- the source ----------------------------------------------------------------
+
+class CaptureSource:
+    """Capture files (one file or a directory of them) as a source."""
+
+    def __init__(self, path: str, mode: str = MODE_STRICT) -> None:
+        if mode not in MODES:
+            raise SourceError(f"unknown ingest mode {mode!r}; expected {MODES}")
+        self.path = path
+        self.mode = mode
+        self.spec = f"capture:{path}"
+        if os.path.isdir(path):
+            filenames = sorted(
+                name for name in os.listdir(path) if is_capture_filename(name)
+            )
+            if not filenames:
+                raise SourceError(
+                    f"capture directory {path} holds no capture files "
+                    f"({'/'.join(CAPTURE_SUFFIXES)})"
+                )
+            paths = [os.path.join(path, name) for name in filenames]
+        elif os.path.isfile(path):
+            paths = [path]
+        else:
+            raise SourceError(f"capture path does not exist: {path}")
+        self._frames: List[CaptureFrame] = []
+        seen: Dict[Tuple[str, int], str] = {}
+        for file_path in paths:
+            workload, frame_index = capture_identity(file_path)
+            key = (workload, frame_index)
+            if key in seen:
+                raise SourceError(
+                    f"capture frame {workload}#f{frame_index} defined by "
+                    f"both {seen[key]} and {file_path}"
+                )
+            seen[key] = file_path
+            self._frames.append(
+                CaptureFrame(
+                    file_path, workload, frame_index, _file_sha256(file_path)
+                )
+            )
+        self._frames.sort(key=lambda f: (f.workload, f.frame_index))
+        digest = hashlib.sha256()
+        for frame in self._frames:
+            digest.update(
+                f"{frame.workload}#f{frame.frame_index}:{frame.sha256}\n"
+                .encode("utf-8")
+            )
+        digest.update(self.mode.encode("utf-8"))
+        self._digest = digest.hexdigest()
+
+    # -- TraceSource protocol ------------------------------------------
+
+    def identity(self) -> Dict[str, object]:
+        return {
+            "kind": "capture",
+            "path": self.path,
+            "mode": self.mode,
+            "frames": len(self._frames),
+            "sha256": self._digest,
+        }
+
+    def cache_token(self) -> str:
+        return f"cap{self._digest[:12]}"
+
+    def capture_frames(self) -> List[CaptureFrame]:
+        return list(self._frames)
+
+    def workloads(self) -> List[SourceWorkload]:
+        counts: Dict[str, int] = {}
+        for frame in self._frames:
+            counts[frame.workload] = counts.get(frame.workload, 0) + 1
+        return [
+            SourceWorkload(name, count)
+            for name, count in sorted(counts.items())
+        ]
+
+    def frames(self) -> List[FrameSpec]:
+        by_name = {w.name: w for w in self.workloads()}
+        return [
+            FrameSpec(by_name[frame.workload], frame.frame_index)
+            for frame in self._frames
+        ]
+
+    def _find(self, workload: str, frame_index: int) -> CaptureFrame:
+        for frame in self._frames:
+            if frame.workload == workload and frame.frame_index == frame_index:
+                return frame
+        known = ", ".join(f.name for f in self._frames)
+        raise SourceError(
+            f"capture {self.path} has no frame {workload}#f{frame_index}; "
+            f"captured frames: {known}"
+        )
+
+    def frame_spec(self, workload: str, frame_index: int) -> FrameSpec:
+        self._find(workload, frame_index)
+        by_name = {w.name: w for w in self.workloads()}
+        return FrameSpec(by_name[workload], frame_index)
+
+    def frame_trace(
+        self, workload: str, frame_index: int, scale: float = 1.0
+    ) -> Trace:
+        frame = self._find(workload, frame_index)
+        trace, _ = read_capture(frame.path, self.mode)
+        trace.meta["capture_sha256"] = frame.sha256
+        return trace

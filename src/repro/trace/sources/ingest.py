@@ -1,0 +1,211 @@
+"""gspc-ingest — convert captures into replayable ``.gsct`` traces.
+
+Reads one capture file (or a directory of them) in the documented
+capture schema (``docs/traces.md``), maps foreign stream tags onto the
+stream taxonomy, converts every frame into a ``.gsct`` columnar trace
+inside a *replay directory* (consumable via ``--trace-source
+replay:DIR``), and validates each frame's stream mix against the
+paper's Table 1 characterization envelope.
+
+The conversion always emits a characterization manifest (obs kind
+``ingest``) as ``ingest.json`` in the replay directory — per-frame
+stream shares, reuse statistics, and the envelope verdict — plus the
+``source.json`` replay manifest.
+
+Exit codes follow the gspc-* contract: 0 success, 1 unreadable or
+malformed capture, 2 usage error, 3 conversion succeeded but at least
+one frame violates the Table 1 envelope (artifacts are still written).
+
+Examples::
+
+    gspc-ingest --capture frame.jsonl.gz --out traces/
+    gspc-ingest --capture capdir/ --out traces/ --lenient
+    gspc-ingest --capture frame.csv --out traces/ --no-check --metrics-out out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.cli import EXIT_OK, EXIT_PARTIAL, EXIT_RUNTIME, EXIT_USAGE, \
+    ensure_directory
+from repro.errors import ReproError
+from repro.obs.manifest import ingest_manifest, write_manifest
+from repro.trace.io import save_trace
+from repro.trace.sources.capture import (
+    MODE_LENIENT,
+    MODE_STRICT,
+    CaptureSource,
+    _file_sha256,
+    read_capture,
+)
+from repro.trace.sources.envelope import characterize_capture, check_envelope
+from repro.trace.sources.replaydir import write_replay_manifest
+
+#: Stable name of the characterization manifest inside the replay dir.
+INGEST_MANIFEST_NAME = "ingest.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gspc-ingest",
+        description="Convert captured access logs into replayable .gsct "
+        "traces and check their stream mix against the Table 1 envelope.",
+    )
+    parser.add_argument(
+        "--capture",
+        required=True,
+        help="capture file (.jsonl/.csv, optionally .gz) or a directory "
+        "of capture files",
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        help="replay directory to write .gsct traces, source.json and "
+        "ingest.json into",
+    )
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="map unknown stream tags to OTHER (counted) instead of "
+        "failing, and tolerate a missing declared access count",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the Table 1 envelope conformance check (conversion "
+        "artifacts are identical; only the exit code changes)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        help="also write the ingest manifest into DIR under its "
+        "canonical manifest filename",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    started = time.perf_counter()
+    for directory, option in (
+        (args.out, "--out"),
+        (args.metrics_out, "--metrics-out"),
+    ):
+        if directory:
+            problem = ensure_directory(directory, option)
+            if problem:
+                print(f"error: {problem}", file=sys.stderr)
+                return EXIT_USAGE
+    mode = MODE_LENIENT if args.lenient else MODE_STRICT
+
+    try:
+        source = CaptureSource(args.capture, mode)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME
+
+    frames = []
+    replay_entries = []
+    total_accesses = 0
+    total_unknown = 0
+    violating_frames = 0
+    for capture_frame in source.capture_frames():
+        try:
+            trace, stats = read_capture(capture_frame.path, mode)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_RUNTIME
+        trace.meta["capture_sha256"] = capture_frame.sha256
+        filename = (
+            f"{capture_frame.workload}_f{capture_frame.frame_index}.gsct"
+        )
+        trace_path = os.path.join(args.out, filename)
+        try:
+            save_trace(trace, trace_path)
+        except (ReproError, OSError) as exc:
+            print(f"error: cannot write {trace_path}: {exc}", file=sys.stderr)
+            return EXIT_RUNTIME
+        characterization = characterize_capture(trace)
+        violations = [] if args.no_check else check_envelope(characterization)
+        if violations:
+            violating_frames += 1
+        total_accesses += stats.accesses
+        total_unknown += stats.unknown_count
+        digest = _file_sha256(trace_path)
+        replay_entries.append(
+            {
+                "workload": capture_frame.workload,
+                "frame": capture_frame.frame_index,
+                "file": filename,
+                "sha256": digest,
+                "accesses": stats.accesses,
+                "capture_file": os.path.basename(capture_frame.path),
+                "capture_sha256": capture_frame.sha256,
+            }
+        )
+        frames.append(
+            {
+                "workload": capture_frame.workload,
+                "frame": capture_frame.frame_index,
+                "file": filename,
+                "sha256": digest,
+                "accesses": stats.accesses,
+                "unknown_tags": dict(sorted(stats.unknown_tags.items())),
+                "characterization": characterization,
+                "conformant": not violations,
+                "violations": violations,
+            }
+        )
+        classes = characterization["classes"]
+        mix = " ".join(
+            f"{name}={classes[name]:.1%}" for name in ("Z", "TEX", "RT", "OTHER")
+        )
+        verdict = "SKIPPED" if args.no_check else (
+            "FAIL" if violations else "ok"
+        )
+        print(
+            f"{capture_frame.name}: {stats.accesses} accesses  {mix}  "
+            f"reuse={characterization['reuse_fraction']:.1%}  "
+            f"envelope={verdict}"
+        )
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+
+    write_replay_manifest(args.out, replay_entries, source.identity(), mode)
+    manifest = ingest_manifest(
+        config={"capture": args.capture, "out": args.out, "mode": mode,
+                "check": not args.no_check},
+        source=source.identity(),
+        metrics={
+            "frames": len(frames),
+            "accesses": total_accesses,
+            "unknown_tags": total_unknown,
+            "envelope_violations": violating_frames,
+        },
+        frames=frames,
+        wall_seconds=time.perf_counter() - started,
+    )
+    write_manifest(manifest, args.out, INGEST_MANIFEST_NAME)
+    if args.metrics_out:
+        write_manifest(manifest, args.metrics_out)
+    print(
+        f"converted {len(frames)} frame(s), {total_accesses} accesses "
+        f"-> {args.out} (replay with --trace-source replay:{args.out})"
+    )
+    if violating_frames:
+        print(
+            f"error: {violating_frames} frame(s) outside the Table 1 "
+            "characterization envelope",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The built-in synthetic renderer as a :class:`TraceSource`.
+
+This is the source every experiment used implicitly before the source
+abstraction existed: the twelve Table-1 application profiles rendered by
+:func:`repro.workloads.framegen.generate_frame_trace`.  Keeping its
+:meth:`cache_token` empty preserves the pre-existing frame-trace cache
+layout (``<app>_f<idx>_s<scale>.gsct``), so caches warmed by older
+releases keep hitting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SourceError
+from repro.trace.record import Trace
+from repro.trace.sources import SOURCE_SYNTHETIC, SourceWorkload
+from repro.workloads.apps import ALL_APPS, FrameSpec, app_by_name
+
+
+class SyntheticSource:
+    """Frames generated on demand by the synthetic renderer."""
+
+    spec = SOURCE_SYNTHETIC
+
+    def identity(self) -> Dict[str, object]:
+        return {"kind": SOURCE_SYNTHETIC}
+
+    def cache_token(self) -> str:
+        return ""  # legacy cache layout: no per-source namespace
+
+    def workloads(self) -> List[SourceWorkload]:
+        return [
+            SourceWorkload(app.abbrev, app.num_frames) for app in ALL_APPS
+        ]
+
+    def frames(self) -> List[FrameSpec]:
+        return [
+            FrameSpec(app, index)
+            for app in ALL_APPS
+            for index in range(app.num_frames)
+        ]
+
+    def frame_spec(self, workload: str, frame_index: int) -> FrameSpec:
+        try:
+            app = app_by_name(workload)
+        except Exception as exc:
+            raise SourceError(str(exc)) from exc
+        return FrameSpec(app, frame_index)
+
+    def frame_trace(
+        self, workload: str, frame_index: int, scale: float
+    ) -> Trace:
+        from repro.workloads.framegen import generate_frame_trace
+
+        return generate_frame_trace(
+            app_by_name(workload), frame_index, scale=scale
+        )

@@ -1,0 +1,232 @@
+"""End-to-end tests for gspc-ingest and the --trace-source CLI plumbing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as sim_main
+from repro.obs.manifest import validate_manifest
+from repro.streams import Stream
+from repro.trace.record import TraceBuilder
+from repro.trace.sources import clear_resolved_sources
+from repro.trace.sources.capture import export_capture
+from repro.trace.sources.envelope import MIN_ACCESSES
+from repro.trace.sources.ingest import main as ingest_main
+from repro.trace.sources.replaydir import load_replay_manifest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sources():
+    clear_resolved_sources()
+    yield
+    clear_resolved_sources()
+
+
+def _conformant_capture(path, accesses=600, workload="capdemo",
+                        frame_index=0):
+    mix = [Stream.Z] + [Stream.TEXTURE] * 4 + [Stream.RT] * 3 \
+        + [Stream.VERTEX] + [Stream.RT]
+    builder = TraceBuilder()
+    for index in range(accesses):
+        builder.append((index % 131) * 64, mix[index % len(mix)],
+                       index % 5 == 0)
+    export_capture(builder.build(), str(path), workload=workload,
+                   frame_index=frame_index)
+    return str(path)
+
+
+def _skewed_capture(path):
+    header = {"capture": "gspc-capture", "version": 1, "workload": "skew",
+              "frame": 0, "accesses": MIN_ACCESSES + 10}
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for index in range(MIN_ACCESSES + 10):
+            handle.write(json.dumps(
+                {"addr": index * 64, "stream": "tex", "write": False}
+            ) + "\n")
+    return str(path)
+
+
+def test_ingest_happy_path(tmp_path, capsys):
+    capture = _conformant_capture(tmp_path / "capdemo_f0.jsonl.gz")
+    out = tmp_path / "replay"
+    metrics = tmp_path / "manifests"
+    code = ingest_main(["--capture", capture, "--out", str(out),
+                        "--metrics-out", str(metrics)])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "envelope=ok" in stdout
+    assert f"--trace-source replay:{out}" in stdout
+    manifest = json.load(open(out / "ingest.json"))
+    validate_manifest(manifest)
+    assert manifest["kind"] == "ingest"
+    assert manifest["metrics"] == {
+        "frames": 1, "accesses": 600, "unknown_tags": 0,
+        "envelope_violations": 0,
+    }
+    assert manifest["frames"][0]["conformant"]
+    replay = load_replay_manifest(str(out))
+    assert replay["frames"][0]["workload"] == "capdemo"
+    assert (out / "capdemo_f0.gsct").exists()
+    # The --metrics-out copy uses the canonical manifest filename.
+    copies = list(metrics.glob("ingest_*.json"))
+    assert len(copies) == 1
+    validate_manifest(json.load(open(copies[0])))
+
+
+def test_ingest_unreadable_capture_exits_1(tmp_path, capsys):
+    missing = tmp_path / "nope_f0.jsonl"
+    assert ingest_main(
+        ["--capture", str(missing), "--out", str(tmp_path / "r")]
+    ) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_ingest_bad_out_exits_2(tmp_path, capsys):
+    capture = _conformant_capture(tmp_path / "capdemo_f0.jsonl")
+    blocker = tmp_path / "file"
+    blocker.write_text("x")
+    assert ingest_main(
+        ["--capture", capture, "--out", str(blocker)]
+    ) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_ingest_envelope_violation_exits_3_with_artifacts(tmp_path, capsys):
+    capture = _skewed_capture(tmp_path / "skew_f0.jsonl")
+    out = tmp_path / "replay"
+    assert ingest_main(["--capture", capture, "--out", str(out)]) == 3
+    captured = capsys.readouterr()
+    assert "envelope=FAIL" in captured.out
+    assert "outside the Table 1" in captured.err
+    # Conversion artifacts are still written and internally consistent.
+    assert (out / "skew_f0.gsct").exists()
+    manifest = json.load(open(out / "ingest.json"))
+    validate_manifest(manifest)
+    assert manifest["metrics"]["envelope_violations"] == 1
+    assert not manifest["frames"][0]["conformant"]
+    assert manifest["frames"][0]["violations"]
+    load_replay_manifest(str(out))
+
+
+def test_ingest_no_check_waives_envelope(tmp_path, capsys):
+    capture = _skewed_capture(tmp_path / "skew_f0.jsonl")
+    out = tmp_path / "replay"
+    assert ingest_main(
+        ["--capture", capture, "--out", str(out), "--no-check"]
+    ) == 0
+    assert "envelope=SKIPPED" in capsys.readouterr().out
+    manifest = json.load(open(out / "ingest.json"))
+    assert manifest["metrics"]["envelope_violations"] == 0
+
+
+def test_ingest_lenient_counts_unknown_tags(tmp_path, capsys):
+    path = tmp_path / "odd_f0.jsonl"
+    header = {"capture": "gspc-capture", "version": 1, "workload": "odd",
+              "frame": 0, "accesses": 3}
+    records = [
+        {"addr": 0, "stream": "tex"},
+        {"addr": 64, "stream": "mystery"},
+        {"addr": 128, "stream": "mystery"},
+    ]
+    path.write_text(
+        "\n".join(json.dumps(x) for x in [header] + records) + "\n"
+    )
+    out = tmp_path / "replay"
+    # Strict mode refuses the foreign tag outright.
+    assert ingest_main(
+        ["--capture", str(path), "--out", str(out)]
+    ) == 1
+    assert "mystery" in capsys.readouterr().err
+    # Lenient mode maps it to OTHER and records the count.
+    assert ingest_main(
+        ["--capture", str(path), "--out", str(out), "--lenient",
+         "--no-check"]
+    ) == 0
+    manifest = json.load(open(out / "ingest.json"))
+    assert manifest["metrics"]["unknown_tags"] == 2
+    assert manifest["frames"][0]["unknown_tags"] == {"mystery": 2}
+
+
+def test_ingest_directory_of_captures(tmp_path):
+    _conformant_capture(tmp_path / "caps" / "a_f0.jsonl", workload="a",
+                        frame_index=0)
+    _conformant_capture(tmp_path / "caps" / "a_f1.jsonl", workload="a",
+                        frame_index=1)
+    out = tmp_path / "replay"
+    assert ingest_main(
+        ["--capture", str(tmp_path / "caps"), "--out", str(out)]
+    ) == 0
+    manifest = json.load(open(out / "ingest.json"))
+    assert manifest["metrics"]["frames"] == 2
+    names = sorted(entry["file"] for entry in manifest["frames"])
+    assert names == ["a_f0.gsct", "a_f1.gsct"]
+
+
+# -- gspc-sim source plumbing --------------------------------------------------
+
+
+def test_sim_cli_rejects_bad_source_spec(capsys):
+    assert sim_main(
+        ["--app", "DMC", "--trace-source", "ftp:nope"]
+    ) == 2
+    assert "trace source" in capsys.readouterr().err
+
+
+def test_sim_cli_rejects_unknown_trace_extension(tmp_path, capsys):
+    assert sim_main(["--trace", str(tmp_path / "t.weird")]) == 2
+    assert "extension" in capsys.readouterr().err
+
+
+def test_sim_cli_missing_capture_exits_1(tmp_path, capsys):
+    assert sim_main(
+        ["--app", "x", "--trace-source", f"capture:{tmp_path}/nope.jsonl",
+         "--policies", "drrip"]
+    ) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sim_cli_replays_capture_source(tmp_path, capsys):
+    capture = _conformant_capture(tmp_path / "capdemo_f0.jsonl")
+    code = sim_main(
+        ["--app", "capdemo", "--trace-source", f"capture:{capture}",
+         "--policies", "drrip", "lru", "--llc-mb", "1"]
+    )
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "capdemo#f0" in stdout
+    assert "DRRIP" in stdout and "LRU" in stdout
+
+
+def test_sim_cli_replay_source_matches_capture_source(tmp_path, capsys):
+    capture = _conformant_capture(tmp_path / "capdemo_f0.jsonl")
+    replay = tmp_path / "replay"
+    assert ingest_main(
+        ["--capture", capture, "--out", str(replay)]
+    ) == 0
+    capsys.readouterr()
+    outputs = {}
+    for spec in (f"capture:{capture}", f"replay:{replay}"):
+        assert sim_main(
+            ["--app", "capdemo", "--trace-source", spec,
+             "--policies", "gspc", "--llc-mb", "1"]
+        ) == 0
+        outputs[spec] = capsys.readouterr().out
+    ref, rep = outputs.values()
+    assert ref == rep
+
+
+def test_replayed_trace_bytes_match_capture(tmp_path):
+    """The .gsct written by gspc-ingest replays the exact capture."""
+    from repro.trace.io import load_trace
+    from repro.trace.sources.capture import read_capture
+
+    capture = _conformant_capture(tmp_path / "capdemo_f0.jsonl")
+    replay = tmp_path / "replay"
+    assert ingest_main(["--capture", capture, "--out", str(replay)]) == 0
+    direct, _ = read_capture(capture)
+    converted = load_trace(replay / "capdemo_f0.gsct")
+    assert np.array_equal(converted.addresses, direct.addresses)
+    assert np.array_equal(converted.streams, direct.streams)
+    assert np.array_equal(converted.writes, direct.writes)

@@ -11,7 +11,7 @@ import pytest
 
 from repro.config import KB, CacheParams, LLCConfig
 from repro.core.registry import available_policies
-from repro.errors import ParallelError
+from repro.errors import ParallelError, TraceError
 from repro.experiments.common import (
     ExperimentConfig,
     clear_result_caches,
@@ -284,8 +284,8 @@ def test_save_trace_atomic_under_racing_writers(tmp_path):
     assert len(load_trace(path)) > 0
 
 
-def test_save_trace_appends_npz_suffix(tmp_path):
+def test_save_trace_rejects_unknown_extension(tmp_path):
     trace = synth.cyclic_scan(32, 2)
-    save_trace(trace, str(tmp_path / "noext"))
-    assert sorted(os.listdir(tmp_path)) == ["noext.npz"]
-    assert len(load_trace(str(tmp_path / "noext.npz"))) == len(trace)
+    with pytest.raises(TraceError, match="unknown trace extension"):
+        save_trace(trace, str(tmp_path / "noext"))
+    assert os.listdir(tmp_path) == []  # nothing written on rejection

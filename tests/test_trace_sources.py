@@ -1,0 +1,404 @@
+"""Tests for the pluggable trace-source layer (repro.trace.sources)."""
+
+import gzip
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SourceError, SweepError
+from repro.experiments.common import ExperimentConfig, frame_trace
+from repro.streams import Stream
+from repro.trace.record import TraceBuilder
+from repro.trace.sources import (
+    SOURCE_SYNTHETIC,
+    SourceWorkload,
+    clear_resolved_sources,
+    resolve_source,
+    validate_source_spec,
+)
+from repro.trace.sources.capture import (
+    MODE_LENIENT,
+    MODE_STRICT,
+    CaptureSource,
+    export_capture,
+    read_capture,
+)
+from repro.trace.sources.envelope import (
+    MIN_ACCESSES,
+    characterize_capture,
+    check_envelope,
+)
+from repro.trace.sources.replaydir import (
+    ReplaySource,
+    load_replay_manifest,
+    write_replay_manifest,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sources():
+    clear_resolved_sources()
+    yield
+    clear_resolved_sources()
+
+
+def _mixed_trace(accesses=1000, salt=0):
+    """A capture-shaped trace whose stream mix sits inside the envelope:
+    10% Z, 40% TEX, 35% RT, 15% VERTEX (OTHER class), 20% writes."""
+    mix = [Stream.Z] + [Stream.TEXTURE] * 4 + [Stream.RT] * 3 \
+        + [Stream.VERTEX] + [Stream.RT]
+    builder = TraceBuilder()
+    for index in range(accesses):
+        builder.append(
+            (index % 97 + salt * 1000) * 64,
+            mix[index % len(mix)],
+            index % 5 == 0,
+        )
+    return builder.build()
+
+
+def _write_capture(path, trace, workload="capdemo", frame_index=0):
+    export_capture(trace, str(path), workload=workload,
+                   frame_index=frame_index)
+    return str(path)
+
+
+# -- capture round trips -------------------------------------------------------
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".jsonl.gz", ".csv", ".csv.gz"])
+def test_capture_round_trip(tmp_path, suffix):
+    trace = _mixed_trace()
+    path = _write_capture(tmp_path / f"capdemo_f0{suffix}", trace)
+    loaded, stats = read_capture(path, MODE_STRICT)
+    assert np.array_equal(loaded.addresses, trace.addresses)
+    assert np.array_equal(loaded.streams, trace.streams)
+    assert np.array_equal(loaded.writes, trace.writes)
+    assert stats.accesses == len(trace)
+    assert stats.unknown_count == 0
+    assert loaded.meta["workload"] == "capdemo"
+    assert loaded.meta["frame"] == 0
+
+
+def test_capture_identity_prefers_header_over_filename(tmp_path):
+    path = _write_capture(
+        tmp_path / "ondisk_f9.jsonl", _mixed_trace(),
+        workload="realname", frame_index=3,
+    )
+    loaded, _ = read_capture(path)
+    assert loaded.meta["workload"] == "realname"
+    assert loaded.meta["frame"] == 3
+
+
+def test_empty_capture_rejected(tmp_path):
+    path = tmp_path / "empty_f0.jsonl"
+    header = {"capture": "gspc-capture", "version": 1, "accesses": 0}
+    path.write_text(json.dumps(header) + "\n")
+    with pytest.raises(SourceError, match="no accesses"):
+        read_capture(str(path))
+
+
+def test_unknown_stream_tag_strict_vs_lenient(tmp_path):
+    path = tmp_path / "odd_f0.jsonl"
+    header = {"capture": "gspc-capture", "version": 1, "accesses": 2}
+    records = [
+        {"addr": 0, "stream": "tex", "write": False},
+        {"addr": 64, "stream": "blorp", "write": True},
+    ]
+    path.write_text(
+        "\n".join(json.dumps(x) for x in [header] + records) + "\n"
+    )
+    with pytest.raises(SourceError, match="blorp"):
+        read_capture(str(path), MODE_STRICT)
+    loaded, stats = read_capture(str(path), MODE_LENIENT)
+    assert stats.unknown_tags == {"blorp": 1}
+    assert loaded.streams[1] == int(Stream.OTHER)
+    assert loaded.meta["unknown_stream_tags"] == {"blorp": 1}
+
+
+def test_declared_count_mismatch_rejected(tmp_path):
+    path = _write_capture(tmp_path / "cut_f0.jsonl", _mixed_trace(300))
+    lines = open(path).read().splitlines()
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines[:-7]) + "\n")
+    with pytest.raises(SourceError, match="declares 300"):
+        read_capture(path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_truncated_jsonl_capture_rejected(tmp_path_factory, fraction):
+    """Cutting a capture at any byte inside its content must raise."""
+    tmp_path = tmp_path_factory.mktemp("trunc")
+    path = _write_capture(tmp_path / "t_f0.jsonl", _mixed_trace(300))
+    blob = open(path, "rb").read()
+    header_end = blob.index(b"\n") + 1
+    # len - 2 at most: cutting only the trailing newline is still valid.
+    offset = header_end + int(fraction * (len(blob) - 2 - header_end))
+    cut = tmp_path / "cut_f0.jsonl"
+    cut.write_bytes(blob[:offset])
+    with pytest.raises(SourceError):
+        read_capture(str(cut))
+
+
+@settings(max_examples=25, deadline=None)
+@given(fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_truncated_gzip_capture_rejected(tmp_path_factory, fraction):
+    tmp_path = tmp_path_factory.mktemp("gztrunc")
+    path = _write_capture(tmp_path / "t_f0.jsonl.gz", _mixed_trace(300))
+    blob = open(path, "rb").read()
+    offset = int(fraction * (len(blob) - 1))
+    cut = tmp_path / "cut_f0.jsonl.gz"
+    cut.write_bytes(blob[:offset])
+    with pytest.raises(SourceError):
+        read_capture(str(cut))
+
+
+def test_capture_addr_formats(tmp_path):
+    path = tmp_path / "hex_f0.jsonl"
+    header = {"capture": "gspc-capture", "version": 1, "accesses": 3}
+    records = [
+        {"addr": "0x1F40", "stream": "z"},
+        {"addr": "8000", "stream": 4},
+        {"addr": 64, "stream": "rt", "write": 1},
+    ]
+    path.write_text(
+        "\n".join(json.dumps(x) for x in [header] + records) + "\n"
+    )
+    loaded, _ = read_capture(str(path))
+    assert loaded.addresses.tolist() == [0x1F40, 8000, 64]
+    assert loaded.streams.tolist() == [int(Stream.Z), int(Stream.RT),
+                                       int(Stream.RT)]
+    assert loaded.writes.tolist() == [False, False, True]
+
+
+# -- source specs and resolution -----------------------------------------------
+
+
+def test_validate_source_spec():
+    assert validate_source_spec("synthetic") == SOURCE_SYNTHETIC
+    validate_source_spec("capture:some/path.jsonl")
+    validate_source_spec("replay:some/dir")
+    for bad in ("", "nosuch", "ftp:whatever", "capture:", "replay:"):
+        with pytest.raises(SourceError):
+            validate_source_spec(bad)
+
+
+def test_resolve_source_memoised(tmp_path):
+    first = resolve_source("synthetic")
+    assert resolve_source("synthetic") is first
+    clear_resolved_sources()
+    assert resolve_source("synthetic") is not first
+
+
+def test_source_workload_duck_types_app_profile():
+    workload = SourceWorkload(name="capdemo", num_frames=2)
+    assert workload.abbrev == "capdemo"
+
+
+# -- CaptureSource / ReplaySource ----------------------------------------------
+
+
+def test_capture_source_over_directory(tmp_path):
+    _write_capture(tmp_path / "a_f0.jsonl", _mixed_trace(400), "a", 0)
+    _write_capture(tmp_path / "a_f1.jsonl", _mixed_trace(400, 1), "a", 1)
+    _write_capture(tmp_path / "b_f0.jsonl", _mixed_trace(400, 2), "b", 0)
+    source = CaptureSource(str(tmp_path))
+    assert [w.name for w in source.workloads()] == ["a", "b"]
+    assert [w.num_frames for w in source.workloads()] == [2, 1]
+    assert len(source.frames()) == 3
+    assert source.cache_token().startswith("cap")
+    trace = source.frame_trace("a", 1, scale=1.0)
+    assert len(trace) == 400
+
+
+def test_capture_source_duplicate_frame_rejected(tmp_path):
+    _write_capture(tmp_path / "a_f0.jsonl", _mixed_trace(300), "a", 0)
+    _write_capture(tmp_path / "a_f0.csv", _mixed_trace(300), "a", 0)
+    with pytest.raises(SourceError, match="duplicate"):
+        CaptureSource(str(tmp_path))
+
+
+def test_capture_source_identity_tracks_content(tmp_path):
+    dir_a = tmp_path / "a"
+    dir_b = tmp_path / "b"
+    dir_a.mkdir()
+    dir_b.mkdir()
+    _write_capture(dir_a / "capdemo_f0.jsonl", _mixed_trace(300, 0))
+    _write_capture(dir_b / "capdemo_f0.jsonl", _mixed_trace(300, 5))
+    token_a = CaptureSource(str(dir_a)).cache_token()
+    token_b = CaptureSource(str(dir_b)).cache_token()
+    assert token_a != token_b
+
+
+def test_replay_source_round_trip(tmp_path):
+    from repro.trace.io import save_trace
+
+    trace = _mixed_trace(500)
+    replay = tmp_path / "replay"
+    replay.mkdir()
+    save_trace(trace, replay / "capdemo_f0.gsct")
+    from repro.trace.sources.capture import _file_sha256
+
+    write_replay_manifest(
+        str(replay),
+        [{"workload": "capdemo", "frame": 0, "file": "capdemo_f0.gsct",
+          "sha256": _file_sha256(str(replay / "capdemo_f0.gsct")),
+          "accesses": len(trace)}],
+        origin="test",
+        mode=MODE_STRICT,
+    )
+    manifest = load_replay_manifest(str(replay))
+    assert manifest["frames"][0]["workload"] == "capdemo"
+    source = ReplaySource(str(replay))
+    assert source.cache_token() is None
+    loaded = source.frame_trace("capdemo", 0, scale=1.0)
+    assert np.array_equal(loaded.addresses, trace.addresses)
+
+
+def test_replay_source_missing_manifest(tmp_path):
+    with pytest.raises(SourceError, match="source.json"):
+        ReplaySource(str(tmp_path))
+
+
+def test_replay_source_missing_trace_file(tmp_path):
+    write_replay_manifest(
+        str(tmp_path),
+        [{"workload": "x", "frame": 0, "file": "x_f0.gsct",
+          "sha256": "0" * 64, "accesses": 10}],
+        origin="test",
+        mode=MODE_STRICT,
+    )
+    with pytest.raises(SourceError, match="x_f0.gsct"):
+        ReplaySource(str(tmp_path))
+
+
+# -- frame-trace cache namespacing ---------------------------------------------
+
+
+def test_frame_cache_keys_on_source_identity(tmp_path):
+    """Two captures with identical workload/frame names but different
+    content must not collide in the on-disk frame-trace cache."""
+    dir_a = tmp_path / "a"
+    dir_b = tmp_path / "b"
+    dir_a.mkdir()
+    dir_b.mkdir()
+    _write_capture(dir_a / "capdemo_f0.jsonl", _mixed_trace(300, 0))
+    _write_capture(dir_b / "capdemo_f0.jsonl", _mixed_trace(300, 9))
+    cache = tmp_path / "cache"
+    traces = {}
+    for key, directory in (("a", dir_a), ("b", dir_b)):
+        config = ExperimentConfig(
+            cache_dir=str(cache), source=f"capture:{directory}"
+        )
+        spec = resolve_source(config.source).frame_spec("capdemo", 0)
+        traces[key] = frame_trace(spec, config)
+        # Warm-cache read must return the same bytes.
+        again = frame_trace(spec, config)
+        assert np.array_equal(again.addresses, traces[key].addresses)
+    assert not np.array_equal(
+        traces["a"].addresses, traces["b"].addresses
+    )
+    subdirs = sorted(os.listdir(cache / "traces"))
+    assert len(subdirs) == 2
+    assert all(d.startswith("cap") for d in subdirs)
+
+
+def test_synthetic_source_uses_flat_cache_layout(tmp_path):
+    config = ExperimentConfig(
+        cache_dir=str(tmp_path / "cache"), scale=0.03125
+    )
+    spec = resolve_source("synthetic").frame_spec("DMC", 0)
+    frame_trace(spec, config)
+    entries = os.listdir(tmp_path / "cache" / "traces")
+    assert any(entry.endswith(".gsct") for entry in entries)
+
+
+# -- envelope ------------------------------------------------------------------
+
+
+def test_envelope_accepts_mixed_trace():
+    characterization = characterize_capture(_mixed_trace())
+    assert check_envelope(characterization) == []
+    classes = characterization["classes"]
+    assert abs(classes["TEX"] - 0.4) < 0.01
+    assert abs(classes["Z"] - 0.1) < 0.01
+
+
+def test_envelope_flags_skewed_mix():
+    builder = TraceBuilder()
+    for index in range(MIN_ACCESSES + 10):
+        builder.append(index * 64, Stream.TEXTURE, False)
+    violations = check_envelope(characterize_capture(builder.build()))
+    text = "\n".join(violations)
+    assert "TEX" in text
+    assert "Z" in text and "RT" in text
+
+
+def test_envelope_short_capture_short_circuits():
+    builder = TraceBuilder()
+    for index in range(10):
+        builder.append(index * 64, Stream.TEXTURE, False)
+    violations = check_envelope(characterize_capture(builder.build()))
+    assert len(violations) == 1
+    assert str(MIN_ACCESSES) in violations[0]
+
+
+# -- sweep spec source axis ----------------------------------------------------
+
+
+def test_sweep_spec_source_round_trips():
+    from repro.sweep.spec import SweepSpec
+
+    spec = SweepSpec(
+        name="s", policies=("drrip",), llc_mb=(8,),
+        source="capture:/nonexistent/ok-at-parse-time",
+    )
+    assert spec.to_dict()["source"] == "capture:/nonexistent/ok-at-parse-time"
+    restored = SweepSpec.from_dict(spec.to_dict())
+    assert restored.source == spec.source
+    legacy = {
+        key: value for key, value in spec.to_dict().items()
+        if key != "source"
+    }
+    assert SweepSpec.from_dict(legacy).source == SOURCE_SYNTHETIC
+
+
+def test_sweep_spec_rejects_bad_source():
+    from repro.sweep.spec import SweepSpec
+
+    with pytest.raises(SweepError):
+        SweepSpec(name="s", policies=("drrip",), source="ftp:bad")
+
+
+def test_sweep_spec_frames_from_capture_source(tmp_path):
+    from repro.sweep.spec import SweepSpec
+
+    _write_capture(tmp_path / "w_f0.jsonl", _mixed_trace(300), "w", 0)
+    _write_capture(tmp_path / "w_f1.jsonl", _mixed_trace(300, 1), "w", 1)
+    spec = SweepSpec(
+        name="s", policies=("drrip",), frames_per_app=1,
+        source=f"capture:{tmp_path}",
+    )
+    frames = spec.frames()
+    assert [(f.app.abbrev, f.frame_index) for f in frames] == [("w", 0)]
+    with pytest.raises(SweepError, match="nosuch"):
+        SweepSpec(
+            name="s", policies=("drrip",), apps=("nosuch",),
+            source=f"capture:{tmp_path}",
+        ).frames()
+
+
+# -- gzip transparency ---------------------------------------------------------
+
+
+def test_gzip_and_plain_captures_read_identically(tmp_path):
+    trace = _mixed_trace(200)
+    plain = _write_capture(tmp_path / "p_f0.jsonl", trace)
+    zipped = _write_capture(tmp_path / "z_f0.jsonl.gz", trace)
+    with gzip.open(zipped, "rt") as handle:
+        assert handle.read() == open(plain).read()
