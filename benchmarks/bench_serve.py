@@ -55,6 +55,8 @@ def run_bench(
 
     store_dir = os.path.join(base_dir, "store")
     port_file = os.path.join(base_dir, "serve.port")
+    # Server stderr goes to serve.log so CI can upload it on failure.
+    log_handle = open(os.path.join(base_dir, "serve.log"), "wb")
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro.serve",
@@ -64,6 +66,7 @@ def run_bench(
             "--cache-dir", os.path.join(base_dir, "cache"),
         ],
         stdout=subprocess.DEVNULL,
+        stderr=log_handle,
     )
     try:
         deadline = time.time() + 30
@@ -128,6 +131,7 @@ def run_bench(
         if server.poll() is None:
             server.send_signal(signal.SIGKILL)
             server.wait()
+        log_handle.close()
     return {
         "clients": clients,
         "requests_per_client": requests_per_client,
@@ -160,14 +164,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=3, help="timed rounds (best is reported)"
     )
+    parser.add_argument(
+        "--dir", default=None,
+        help="working directory to keep (serve.log, store, WAL) for "
+        "post-mortems; default is an ephemeral tempdir",
+    )
     args = parser.parse_args(argv)
-    with tempfile.TemporaryDirectory(prefix="bench-serve-") as base_dir:
+    if args.dir:
+        import os
+
+        os.makedirs(args.dir, exist_ok=True)
         report = run_bench(
             clients=args.clients,
             requests_per_client=args.requests,
             rounds=args.rounds,
-            base_dir=base_dir,
+            base_dir=args.dir,
         )
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench-serve-") as base_dir:
+            report = run_bench(
+                clients=args.clients,
+                requests_per_client=args.requests,
+                rounds=args.rounds,
+                base_dir=base_dir,
+            )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DEFAULT_SCALE
 from repro.core.registry import UCD_SUFFIX, available_policies
-from repro.errors import SourceError, SweepError
+from repro.errors import ReproError, SourceError, SweepError
 from repro.experiments.common import ExperimentConfig
 from repro.fastsim.dispatch import ENGINES
 from repro.parallel.jobs import SimJob
@@ -101,11 +101,15 @@ class SweepSpec:
         if self.source == SOURCE_SYNTHETIC:
             # Non-synthetic workload names live in capture files; they
             # are validated lazily when the source is resolved.
+            from repro.workloads.families import is_family_workload
+
             known_apps = {app.abbrev for app in ALL_APPS}
             for abbrev in self.apps:
-                if abbrev not in known_apps:
+                if abbrev not in known_apps and not is_family_workload(abbrev):
                     raise SweepError(
-                        f"unknown app {abbrev!r}; known: {sorted(known_apps)}"
+                        f"unknown app {abbrev!r}; known: {sorted(known_apps)} "
+                        "plus the extended family workloads "
+                        "(`python -m repro.workloads.families list`)"
                     )
         if self.frames_per_app < 1:
             raise SweepError(
@@ -161,7 +165,23 @@ class SweepSpec:
         for frame in available:
             by_app.setdefault(frame.app.abbrev, []).append(frame)
         names = tuple(self.apps) if self.apps else tuple(sorted(by_app))
-        missing = [name for name in names if name not in by_app]
+        missing: List[str] = []
+        for name in names:
+            if name in by_app:
+                continue
+            # Workloads the source resolves by name without enumerating —
+            # the extended family presets (coherent/graph/compute) ride
+            # the workload axis this way, keeping the enumerated Table 1
+            # frame set (and every golden pinned to it) untouched.
+            try:
+                workload = source.frame_spec(name, 0).app
+            except ReproError:
+                missing.append(name)
+                continue
+            count = min(self.frames_per_app, int(workload.num_frames))
+            by_app[name] = [
+                FrameSpec(workload, index) for index in range(count)
+            ]
         if missing:
             raise SweepError(
                 f"source {self.source!r} has no workload(s) {missing}; "

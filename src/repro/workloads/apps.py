@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Tuple
 
-from repro.errors import WorkloadError
+from repro.errors import TraceError, WorkloadError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -314,7 +314,22 @@ def app_by_name(name: str) -> AppProfile:
 
 
 def frames_for_app(app: AppProfile) -> List[FrameSpec]:
-    return [FrameSpec(app, index) for index in range(app.num_frames)]
+    """Every evaluated frame of one application (or family workload).
+
+    ``AppProfile.__post_init__`` rejects non-positive frame counts, but
+    duck-typed workloads (``SourceWorkload``, family presets, test
+    doubles) reach here unvalidated — a workload with no frames would
+    silently contribute an empty trace plan, which downstream layers
+    report as a mysteriously missing result.  Fail loudly instead:
+    CLIs map the typed :class:`TraceError` to exit 2 (usage).
+    """
+    num_frames = int(getattr(app, "num_frames", 0) or 0)
+    if num_frames < 1:
+        label = getattr(app, "abbrev", None) or getattr(app, "name", repr(app))
+        raise TraceError(
+            f"workload {label!r} defines no frames; nothing to trace"
+        )
+    return [FrameSpec(app, index) for index in range(num_frames)]
 
 
 def all_frames() -> List[FrameSpec]:
@@ -322,6 +337,8 @@ def all_frames() -> List[FrameSpec]:
     frames: List[FrameSpec] = []
     for app in ALL_APPS:
         frames.extend(frames_for_app(app))
+    if not frames:
+        raise TraceError("no application defines any frames")
     return frames
 
 

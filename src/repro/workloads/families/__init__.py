@@ -1,0 +1,180 @@
+"""Workload families beyond the paper's Table 1 applications.
+
+The paper evaluates GSPC on 12 discrete rendering frames.  This
+package grows the workload axis along three directions named by the
+related work (PAPERS.md, ROADMAP.md):
+
+``coherent``
+    Consecutive-frame sequences with a controllable inter-frame
+    similarity knob (Anglada et al.) — *inside* the rendering
+    envelope, probing temporal reuse the discrete frames cannot.
+``graph``
+    Irregular pointer-chasing / power-law graph streams (Jamet et
+    al.) — deliberately *outside* the Table 1 envelope.
+``compute``
+    GPGPU kernel graphs — streaming, stencil, reduction — via the
+    graph-based caching formulation of Li et al.; no depth traffic,
+    so also outside the envelope.
+
+Family workloads duck-type :class:`~repro.workloads.apps.AppProfile`
+where the rest of the system cares (``name``, ``abbrev``,
+``num_frames``, ``seed``) and add ``generate(frame_index, scale) ->
+Trace``.  They resolve by name through ``SyntheticSource`` (and thus
+the frame-trace cache, both engines, `gspc-sweep`, and `gspc-serve`)
+but are *not* enumerated by ``workloads()``/``frames()`` — the
+paper's 12-app × 52-frame experiment set stays exactly as published,
+and families opt in by being named on a CLI's ``--apps`` axis.
+
+Run ``python -m repro.workloads.families list`` for the preset table
+and ``... check NAME`` for the Table 1 envelope verdict (exit 0
+conformant, 3 violating — the same contract as `gspc-ingest`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import WorkloadError
+from repro.workloads.families.compute import ComputeProfile
+from repro.workloads.families.coherent import CoherentProfile
+from repro.workloads.families.graphwl import GraphProfile
+
+FamilyWorkload = Union[CoherentProfile, GraphProfile, ComputeProfile]
+
+#: Family name -> whether its presets are expected to conform to the
+#: Table 1 envelope (`check_envelope`); CI pins both directions.
+FAMILY_ENVELOPE_CONFORMANT = {
+    "coherent": True,
+    "graph": False,
+    "compute": False,
+}
+
+_PRESETS: List[FamilyWorkload] = [
+    # Frame-coherence: one preset per similarity regime, each borrowing a
+    # different Table 1 app's renderer parameterization.
+    CoherentProfile(
+        name="coherent-high",
+        abbrev="coh-hi",
+        base_app="Assassin's Creed",
+        num_frames=4,
+        seed=101,
+        similarity=0.95,
+        delta_fraction=0.3,
+    ),
+    CoherentProfile(
+        name="coherent-medium",
+        abbrev="coh-med",
+        base_app="Devil May Cry 4",
+        num_frames=4,
+        seed=102,
+        similarity=0.70,
+        delta_fraction=0.5,
+    ),
+    CoherentProfile(
+        name="coherent-low",
+        abbrev="coh-lo",
+        base_app="BioShock",
+        num_frames=4,
+        seed=103,
+        similarity=0.35,
+        delta_fraction=0.8,
+        order_jitter=4,
+    ),
+    # Graph / big-data: three access idioms over the same CSR shape.
+    GraphProfile(
+        name="graph-bfs",
+        abbrev="graph-bfs",
+        mode="bfs",
+        num_frames=4,
+        seed=201,
+    ),
+    GraphProfile(
+        name="graph-pagerank",
+        abbrev="graph-pr",
+        mode="pr",
+        num_frames=4,
+        seed=202,
+        supersteps=1,
+    ),
+    GraphProfile(
+        name="graph-pointer-chase",
+        abbrev="graph-chase",
+        mode="chase",
+        num_frames=4,
+        seed=203,
+    ),
+    # GPGPU compute: three kernel-graph shapes.
+    ComputeProfile(
+        name="compute-stream",
+        abbrev="comp-stream",
+        mode="stream",
+        num_frames=4,
+        seed=301,
+    ),
+    ComputeProfile(
+        name="compute-stencil",
+        abbrev="comp-stencil",
+        mode="stencil",
+        num_frames=4,
+        seed=302,
+    ),
+    ComputeProfile(
+        name="compute-reduce",
+        abbrev="comp-reduce",
+        mode="reduce",
+        num_frames=4,
+        seed=303,
+    ),
+]
+
+FAMILY_WORKLOADS: Dict[str, FamilyWorkload] = {}
+for _preset in _PRESETS:
+    for _key in {_preset.name, _preset.abbrev}:
+        if _key in FAMILY_WORKLOADS:
+            raise WorkloadError(f"duplicate family workload name: {_key}")
+        FAMILY_WORKLOADS[_key] = _preset
+
+
+def all_families() -> List[str]:
+    """The family identifiers, in presentation order."""
+    return list(FAMILY_ENVELOPE_CONFORMANT)
+
+
+def family_workloads(family: str) -> List[FamilyWorkload]:
+    """All presets of one family, in registration order."""
+    if family not in FAMILY_ENVELOPE_CONFORMANT:
+        raise WorkloadError(
+            f"unknown workload family: {family!r} "
+            f"(expected one of {all_families()})"
+        )
+    return [p for p in _PRESETS if p.family == family]
+
+
+def family_by_name(name: str) -> FamilyWorkload:
+    """Look up a family workload by ``name`` or ``abbrev``."""
+    try:
+        return FAMILY_WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown family workload: {name!r} "
+            f"(known: {', '.join(sorted({p.abbrev for p in _PRESETS}))})"
+        ) from None
+
+
+def is_family_workload(name: str) -> bool:
+    """True if ``name`` resolves to a family workload."""
+    return name in FAMILY_WORKLOADS
+
+
+__all__ = [
+    "CoherentProfile",
+    "ComputeProfile",
+    "FAMILY_ENVELOPE_CONFORMANT",
+    "FAMILY_WORKLOADS",
+    "FamilyWorkload",
+    "GraphProfile",
+    "all_families",
+    "family_by_name",
+    "family_workloads",
+    "is_family_workload",
+]

@@ -1,0 +1,235 @@
+"""GPGPU-compute workload family.
+
+Li et al. (PAPERS.md) formulate GPGPU cache management over a *kernel
+graph*: kernels are nodes, arrays are edges from producer to consumer,
+and the LLC's job is to carry producer→consumer working sets across
+kernel boundaries.  :class:`ComputeProfile` instantiates that
+formulation as three classic kernel-graph shapes:
+
+* ``stream`` — ``C = A + B`` then ``D = C * s``: a two-kernel chain
+  whose only temporal reuse is the intermediate ``C`` crossing the
+  kernel boundary.
+* ``stencil`` — ping-pong 3-row stencil sweeps: each output row reads
+  three input rows, so rows are re-read with short, regular reuse
+  distances inside a sweep and the whole array is re-read across
+  sweeps.
+* ``reduce`` — a tree reduction: each level reads the previous level's
+  partials and writes half as many, shrinking the live working set
+  geometrically.
+
+Stream mapping follows the taxonomy's semantics rather than its
+rendering origins: array loads emit as ``TEXTURE`` (the sampler path
+is how GPGPU kernels read memory), intermediate array stores as ``RT``
+(shader output path), kernel-descriptor fetches as ``OTHER``, and the
+*final* kernel's output as ``DISPLAY`` — it is consumed by the host,
+never re-read by the GPU, which is precisely the write-once pattern
+the paper's ``+ucd`` variant exists to bypass.  With no depth traffic
+at all, the Z class is empty and every compute preset sits outside
+the Table 1 envelope by construction.
+
+Like the graph family, compute traffic bypasses the render-cache
+front end; coalesced global accesses are modelled at 64 B block
+granularity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import ClassVar
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams import Stream
+from repro.trace.record import Trace, TraceBuilder
+
+#: Array slots live in disjoint 256 MB regions.
+ARRAY_BASE = 0x1000_0000
+ARRAY_STRIDE = 0x1000_0000
+DESC_BASE = 0x800_0000
+
+_MODES = ("stream", "stencil", "reduce")
+
+
+def _array_blocks(slot: int, blocks: np.ndarray) -> np.ndarray:
+    """Byte addresses of 64 B blocks inside array ``slot``."""
+    return ARRAY_BASE + slot * ARRAY_STRIDE + 64 * blocks
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeProfile:
+    """A small kernel graph replayed at block granularity."""
+
+    name: str
+    abbrev: str
+    mode: str
+    num_frames: int
+    seed: int
+    #: Per-array size in MiB at scale 1.0 (scales as ``scale**2``).
+    array_mb: float = 96.0
+    #: Blocks per emission chunk (stream-interleaving granularity).
+    chunk: int = 512
+    #: ``stencil`` only: blocks per row.
+    row_blocks: int = 64
+    #: ``stencil`` only: ping-pong sweeps per frame.
+    sweeps: int = 2
+    #: ``stream`` only: time steps per frame (iterative solvers re-read
+    #: their operand arrays every step — cyclic reuse the LLC can carry).
+    iterations: int = 2
+
+    family: ClassVar[str] = "compute"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise WorkloadError(
+                f"{self.name}: unknown compute mode {self.mode!r} "
+                f"(expected one of {_MODES})"
+            )
+        if self.num_frames < 1:
+            raise WorkloadError(f"{self.name}: needs at least one frame")
+        if self.array_mb <= 0:
+            raise WorkloadError(f"{self.name}: array_mb must be positive")
+
+    def blocks_per_array(self, scale: float) -> int:
+        return max(256, int(self.array_mb * (1 << 20) * scale**2) // 64)
+
+    # -- kernels --------------------------------------------------------------
+
+    def _emit_kernel(
+        self,
+        builder: TraceBuilder,
+        reads: list,
+        write_slot: int,
+        write_blocks: np.ndarray,
+        final: bool,
+        kernel_id: int,
+        frame_index: int,
+    ) -> None:
+        """One kernel launch: chunked loads, stores, descriptor fetches.
+
+        ``reads`` is a list of ``(slot, blocks)`` input gathers; all inputs
+        and the output are walked chunk-by-chunk so streams interleave the
+        way warps actually issue them.
+        """
+        out_stream = Stream.DISPLAY if final else Stream.RT
+        n = len(write_blocks)
+        for start in range(0, n, self.chunk):
+            stop = min(start + self.chunk, n)
+            # One descriptor line per chunk: grid/arg fetch on the OTHER
+            # stream, distinct per frame and kernel.
+            builder.append(
+                DESC_BASE + 64 * (kernel_id * 4096 + frame_index * 64 + start // self.chunk % 64),
+                Stream.OTHER,
+            )
+            for slot, blocks in reads:
+                lo = start * len(blocks) // n
+                hi = stop * len(blocks) // n
+                builder.extend(
+                    _array_blocks(slot, blocks[lo:hi]), Stream.TEXTURE
+                )
+            builder.extend(
+                _array_blocks(write_slot, write_blocks[start:stop]),
+                out_stream,
+                True,
+            )
+
+    def _emit_stream(
+        self, builder: TraceBuilder, blocks: np.ndarray, frame_index: int
+    ) -> None:
+        # Per time step — kernel 0: C = A + B; kernel 1: D = C * s
+        # (re-reads C across the kernel boundary).  Steps after the first
+        # re-read A and B cyclically, as an iterative solver would.
+        for step in range(max(1, self.iterations)):
+            final = step == max(1, self.iterations) - 1
+            self._emit_kernel(
+                builder,
+                [(0, blocks), (1, blocks)],
+                2,
+                blocks,
+                False,
+                2 * step,
+                frame_index,
+            )
+            self._emit_kernel(
+                builder, [(2, blocks)], 3, blocks, final, 2 * step + 1, frame_index
+            )
+
+    def _emit_stencil(
+        self, builder: TraceBuilder, blocks: np.ndarray, frame_index: int
+    ) -> None:
+        n = len(blocks)
+        rows = n // self.row_blocks
+        row = np.arange(self.row_blocks, dtype=np.int64)
+        src, dst = 0, 1
+        for sweep in range(self.sweeps):
+            final = sweep == self.sweeps - 1
+            for r in range(rows):
+                above = max(0, r - 1) * self.row_blocks + row
+                here = r * self.row_blocks + row
+                below = min(rows - 1, r + 1) * self.row_blocks + row
+                self._emit_kernel(
+                    builder,
+                    [(src, above), (src, here), (src, below)],
+                    dst if not final else 2,
+                    here,
+                    final,
+                    2 + sweep,
+                    frame_index,
+                )
+            src, dst = dst, src
+
+    def _emit_reduce(
+        self, builder: TraceBuilder, blocks: np.ndarray, frame_index: int
+    ) -> None:
+        level = 0
+        live = blocks
+        while len(live) > 16:
+            half = live[: max(16, len(live) // 2)]
+            final = len(half) <= 16
+            self._emit_kernel(
+                builder,
+                [(level % 2, live)],
+                (level + 1) % 2 if not final else 2,
+                half,
+                final,
+                8 + level,
+                frame_index,
+            )
+            live = half
+            level += 1
+
+    # -- entry point ----------------------------------------------------------
+
+    def generate(self, frame_index: int, scale: float) -> Trace:
+        """Replay one frame (one launch of the kernel graph)."""
+        if frame_index < 0:
+            raise WorkloadError(
+                f"frame index must be non-negative: {frame_index}"
+            )
+        n = self.blocks_per_array(scale)
+        # Successive frames of an iterative computation start their tiling
+        # at a rotated phase — frames differ without changing the working
+        # set (same arrays, same kernels).
+        phase = (self.seed + frame_index * 97) % n
+        blocks = (np.arange(n, dtype=np.int64) + phase) % n
+        builder = TraceBuilder(
+            {
+                "name": f"{self.abbrev}#f{frame_index}",
+                "app": self.name,
+                "abbrev": self.abbrev,
+                "family": self.family,
+                "mode": self.mode,
+                "frame": frame_index,
+                "scale": scale,
+                "blocks_per_array": n,
+            }
+        )
+        if self.mode == "stream":
+            self._emit_stream(builder, blocks, frame_index)
+        elif self.mode == "stencil":
+            self._emit_stencil(builder, blocks, frame_index)
+        else:
+            self._emit_reduce(builder, blocks, frame_index)
+        trace = builder.build()
+        trace.meta["raw_accesses"] = len(trace)
+        return trace

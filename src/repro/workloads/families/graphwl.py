@@ -1,0 +1,209 @@
+"""Irregular graph / big-data workload family.
+
+Jamet et al.'s LLC characterization of graph workloads (PAPERS.md)
+shows access patterns almost perfectly hostile to rendering-tuned
+policies: power-law degree distributions concentrate reuse on a few
+hub vertices while the long tail streams through the cache once, and
+pointer chasing serializes dependent misses.  GSPC's stream taxonomy
+was never meant to see this traffic — which is exactly why it makes a
+good out-of-envelope probe.
+
+:class:`GraphProfile` builds a deterministic CSR graph (Zipf-like
+degrees, degree-biased edge targets — a preferential-attachment
+sketch) and replays one of three access idioms per "frame":
+
+* ``bfs`` — frontier supersteps over a random vertex subset: offset
+  reads, sequential edge-list reads, scattered neighbor-value gathers,
+  per-vertex updates.
+* ``pr`` — PageRank-style full sweeps: the same shape with the
+  frontier pinned to every vertex, so hub values dominate reuse.
+* ``chase`` — parallel pointer-chasing walks: chains of dependent
+  edge reads and value gathers with a visited-bitmap write per hop.
+
+Stream mapping is deliberately honest *and* deliberately wrong for
+the Table 1 envelope: index structures (offsets, edge lists) emit as
+``VERTEX``, value gathers as ``TEXTURE``, updates and bitmaps as
+``OTHER`` — so the depth (Z) and render-target (RT) classes are empty
+and the OTHER class dominates.  `gspc-workloads check graph-*` exits 3
+on the envelope gate, and CI asserts that it does.
+
+Graph traffic bypasses the render-cache front end (these kernels do
+not use rasterizer caches); accesses reach the LLC raw.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import ClassVar, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.streams import Stream
+from repro.trace.record import Trace, TraceBuilder
+
+#: Disjoint GB-aligned regions so streams never alias each other.
+META_BASE = 0x2000_0000
+OFFSETS_BASE = 0x4000_0000
+EDGES_BASE = 0x8000_0000
+VALUES_BASE = 0xC000_0000
+
+_MODES = ("bfs", "pr", "chase")
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphProfile:
+    """A deterministic power-law graph replayed with one access idiom."""
+
+    name: str
+    abbrev: str
+    mode: str
+    num_frames: int
+    seed: int
+    #: Vertex count at scale 1.0 (scales as ``scale**2``, floor 512).
+    nodes: int = 3_000_000
+    avg_degree: int = 16
+    #: Degree skew: weight of rank ``r`` vertex is ``(r + 1) ** -alpha``.
+    zipf_alpha: float = 0.9
+    #: ``bfs`` only: fraction of vertices active per superstep.
+    frontier_fraction: float = 0.35
+    #: ``bfs``/``pr``: supersteps per frame.
+    supersteps: int = 2
+    #: ``chase`` only: concurrent walks at scale 1.0 (scales as ``scale``).
+    chains: int = 4096
+    #: ``chase`` only: hops per walk.
+    chain_length: int = 96
+    #: Vertices per emission batch (stream-interleaving granularity).
+    batch: int = 256
+
+    family: ClassVar[str] = "graph"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise WorkloadError(
+                f"{self.name}: unknown graph mode {self.mode!r} "
+                f"(expected one of {_MODES})"
+            )
+        if self.num_frames < 1:
+            raise WorkloadError(f"{self.name}: needs at least one frame")
+        if self.nodes < 2 or self.avg_degree < 1:
+            raise WorkloadError(f"{self.name}: degenerate graph shape")
+        if not 0.0 < self.frontier_fraction <= 1.0:
+            raise WorkloadError(
+                f"{self.name}: frontier_fraction must be in (0, 1]"
+            )
+
+    # -- graph construction ---------------------------------------------------
+
+    def effective_nodes(self, scale: float) -> int:
+        return max(512, int(self.nodes * scale**2))
+
+    def build_graph(
+        self, scale: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(degrees, offsets, targets)`` — frame-independent CSR arrays."""
+        n = self.effective_nodes(scale)
+        rng = np.random.default_rng(self.seed << 8)
+        weights = (np.arange(n, dtype=np.float64) + 1.0) ** -self.zipf_alpha
+        rng.shuffle(weights)  # decorrelate degree from vertex id
+        total_edges = n * self.avg_degree
+        degrees = np.maximum(
+            1, np.rint(weights * (total_edges / weights.sum())).astype(np.int64)
+        )
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        # Degree-biased targets: hubs attract edges, as in scale-free graphs.
+        targets = rng.choice(
+            n, size=int(offsets[-1]), p=degrees / degrees.sum()
+        ).astype(np.int64)
+        return degrees, offsets, targets
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit_sweep(
+        self,
+        builder: TraceBuilder,
+        frontier: np.ndarray,
+        degrees: np.ndarray,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+    ) -> None:
+        """One superstep: process ``frontier`` vertices in batches."""
+        for start in range(0, len(frontier), self.batch):
+            nodes = frontier[start : start + self.batch]
+            counts = degrees[nodes]
+            begins = offsets[nodes]
+            total = int(counts.sum())
+            # Edge-array indices: for each vertex its contiguous CSR run.
+            runs = np.repeat(
+                begins - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+            ) + np.arange(total, dtype=np.int64)
+            builder.extend(OFFSETS_BASE + 8 * nodes, Stream.VERTEX)
+            builder.extend(EDGES_BASE + 8 * runs, Stream.VERTEX)
+            builder.extend(VALUES_BASE + 64 * targets[runs], Stream.TEXTURE)
+            builder.extend(VALUES_BASE + 64 * nodes, Stream.OTHER, True)
+
+    def _emit_chase(
+        self,
+        builder: TraceBuilder,
+        rng: np.random.Generator,
+        degrees: np.ndarray,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        scale: float,
+    ) -> None:
+        """Parallel dependent walks with a visited-bitmap write per hop."""
+        n = len(degrees)
+        walks = max(64, int(self.chains * scale))
+        current = rng.integers(0, n, size=walks)
+        for _ in range(self.chain_length):
+            slots = offsets[current] + rng.integers(0, 1 << 30, size=walks) % (
+                degrees[current]
+            )
+            nxt = targets[slots]
+            builder.extend(EDGES_BASE + 8 * slots, Stream.VERTEX)
+            builder.extend(VALUES_BASE + 64 * nxt, Stream.TEXTURE)
+            builder.extend(META_BASE + 64 * (nxt // 512), Stream.OTHER, True)
+            current = nxt
+
+    def generate(self, frame_index: int, scale: float) -> Trace:
+        """Replay one frame (iteration) of the graph workload."""
+        if frame_index < 0:
+            raise WorkloadError(
+                f"frame index must be non-negative: {frame_index}"
+            )
+        degrees, offsets, targets = self.build_graph(scale)
+        n = len(degrees)
+        frame_rng = np.random.default_rng(
+            (self.seed << 8) ^ (0x6EED + 2654435761 * (frame_index + 1))
+        )
+        builder = TraceBuilder(
+            {
+                "name": f"{self.abbrev}#f{frame_index}",
+                "app": self.name,
+                "abbrev": self.abbrev,
+                "family": self.family,
+                "mode": self.mode,
+                "frame": frame_index,
+                "scale": scale,
+                "nodes": n,
+                "edges": int(offsets[-1]),
+            }
+        )
+        if self.mode == "chase":
+            self._emit_chase(
+                builder, frame_rng, degrees, offsets, targets, scale
+            )
+        else:
+            for _ in range(self.supersteps):
+                if self.mode == "pr":
+                    frontier = np.arange(n, dtype=np.int64)
+                else:
+                    mask = frame_rng.random(n) < self.frontier_fraction
+                    frontier = np.flatnonzero(mask)
+                    if frontier.size == 0:
+                        frontier = frame_rng.integers(0, n, size=1)
+                self._emit_sweep(builder, frontier, degrees, offsets, targets)
+        trace = builder.build()
+        trace.meta["raw_accesses"] = len(trace)
+        return trace

@@ -112,6 +112,35 @@ def test_crash_resume_equivalence(tmp_path, cache_dir, capsys):
     assert not os.path.exists(os.path.join(faulty, "failures.json"))
 
 
+def test_family_crash_resume_equivalence(tmp_path, cache_dir):
+    """The extended family presets (coherent/graph/compute) ride the
+    sweep workload axis under the same crash/resume byte-equivalence
+    contract as the Table 1 apps."""
+    fam = [
+        "--policies", "lru", "gspc",
+        "--apps", "coh-hi", "graph-bfs", "comp-stream",
+        "--scale", "0.03125",
+        "--backoff-base", "0.01",
+    ]
+    clean = str(tmp_path / "clean")
+    faulty = str(tmp_path / "faulty")
+    assert run_cli("--out", clean, "--cache-dir", cache_dir, *fam) == 0
+    # Plan: 3 trace jobs then 6 sims; ordinal 4 is a sim job.
+    assert run_cli(
+        "--out", faulty, "--cache-dir", cache_dir, *fam,
+        "--inject-fault", "job=4,kind=crash,attempt=*",
+        "--max-attempts", "2",
+    ) == 3
+    assert run_cli("--resume", faulty, "--cache-dir", cache_dir) == 0
+    assert read(os.path.join(faulty, "results.csv")) == read(
+        os.path.join(clean, "results.csv")
+    )
+    manifest = load_manifest(os.path.join(faulty, "manifest.json"))
+    assert manifest["sweep"]["failed"] == 0
+    assert manifest["sweep"]["total_jobs"] == 9
+    assert not os.path.exists(os.path.join(faulty, "failures.json"))
+
+
 def test_resume_rejects_conflicting_spec(tmp_path, cache_dir):
     out = str(tmp_path / "sweep")
     assert run_cli("--out", out, "--cache-dir", cache_dir, *BASE) == 0
